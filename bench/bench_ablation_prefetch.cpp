@@ -1,0 +1,47 @@
+// Extension study (paper Section 6): sequential next-block prefetching,
+// which the NetCache architecture would need extra tunable receivers to
+// support. Measures whether the extra traffic pays for itself per system.
+#include "bench/bench_common.hpp"
+
+namespace nb = netcache::bench;
+using netcache::SystemKind;
+
+static nb::Table table(
+    "Extension: sequential prefetch (run-time change and accuracy)",
+    {"base", "prefetch", "gain%", "useful%"});
+
+static const char* kApps[] = {"fft", "sor", "em3d", "lu"};
+static const SystemKind kSystems[] = {SystemKind::kNetCache,
+                                      SystemKind::kLambdaNet};
+
+static void BM_Prefetch(benchmark::State& state) {
+  const std::string app = kApps[state.range(0)];
+  const SystemKind kind = kSystems[state.range(1)];
+  std::string row = app + "-" + netcache::to_string(kind);
+  for (auto _ : state) {
+    auto base = nb::simulate(app, kind);
+    nb::SimOptions opts;
+    opts.tweak = [](netcache::MachineConfig& cfg) {
+      cfg.sequential_prefetch = true;
+    };
+    auto pf = nb::simulate(app, kind, opts);
+    double gain = 100.0 * (static_cast<double>(base.run_time) /
+                               static_cast<double>(pf.run_time) -
+                           1.0);
+    double useful =
+        pf.totals.prefetches_issued == 0
+            ? 0.0
+            : 100.0 * static_cast<double>(pf.totals.prefetches_useful) /
+                  static_cast<double>(pf.totals.prefetches_issued);
+    table.set(row, "base", static_cast<double>(base.run_time));
+    table.set(row, "prefetch", static_cast<double>(pf.run_time));
+    table.set(row, "gain%", gain);
+    table.set(row, "useful%", useful);
+    state.counters["gain%"] = gain;
+  }
+  state.SetLabel(row);
+}
+BENCHMARK(BM_Prefetch)->ArgsProduct({{0, 1, 2, 3}, {0, 1}})
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+
+NETCACHE_BENCH_MAIN(&table)

@@ -1,0 +1,39 @@
+// Ablation (paper Section 3.4): reads started on both subnetworks vs on
+// the ring only. The paper argues the dual start keeps a shared-cache miss
+// no slower than a direct remote access; ring-only adds roughly half a
+// roundtrip of miss-detection time.
+#include "bench/bench_common.hpp"
+
+namespace nb = netcache::bench;
+using netcache::SystemKind;
+
+static nb::Table table(
+    "Ablation: dual-start vs ring-only reads (run time, cycles)",
+    {"dual", "ring-only", "penalty%"});
+
+static const char* kApps[] = {"em3d", "fft", "ocean", "radix", "raytrace",
+                              "mg"};
+
+static void BM_ReadStart(benchmark::State& state) {
+  const std::string app = kApps[state.range(0)];
+  for (auto _ : state) {
+    auto dual = nb::simulate(app, SystemKind::kNetCache);
+    nb::SimOptions opts;
+    opts.tweak = [](netcache::MachineConfig& cfg) {
+      cfg.reads_start_on_star = false;
+    };
+    auto ring_only = nb::simulate(app, SystemKind::kNetCache, opts);
+    double penalty = 100.0 * (static_cast<double>(ring_only.run_time) /
+                                  static_cast<double>(dual.run_time) -
+                              1.0);
+    table.set(app, "dual", static_cast<double>(dual.run_time));
+    table.set(app, "ring-only", static_cast<double>(ring_only.run_time));
+    table.set(app, "penalty%", penalty);
+    state.counters["penalty%"] = penalty;
+  }
+  state.SetLabel(app);
+}
+BENCHMARK(BM_ReadStart)->DenseRange(0, 5)->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+NETCACHE_BENCH_MAIN(&table)

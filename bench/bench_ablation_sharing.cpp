@@ -1,0 +1,41 @@
+// Protocol characterization on controlled synthetic sharing patterns:
+// isolates what each interconnect is good at (hot shared sets -> NetCache;
+// no sharing -> everyone ties; producer-consumer -> update protocols).
+#include "bench/bench_common.hpp"
+#include "src/apps/synthetic.hpp"
+
+namespace nb = netcache::bench;
+using netcache::SystemKind;
+
+static nb::Table table("Synthetic sharing patterns (run time, cycles)",
+                       {"NetCache", "LambdaNet", "DMON-U", "DMON-I"});
+
+static const char* kPatterns[] = {"uniform", "hot", "prodcons", "stream"};
+static const SystemKind kSystems[] = {
+    SystemKind::kNetCache, SystemKind::kLambdaNet, SystemKind::kDmonUpdate,
+    SystemKind::kDmonInvalidate};
+
+static void BM_Sharing(benchmark::State& state) {
+  const std::string pattern = kPatterns[state.range(0)];
+  for (auto _ : state) {
+    for (SystemKind kind : kSystems) {
+      netcache::MachineConfig cfg;
+      cfg.system = kind;
+      netcache::core::Machine machine(cfg);
+      netcache::apps::SyntheticSpec spec;
+      spec.pattern = pattern;
+      auto w = netcache::apps::make_synthetic(spec);
+      auto s = machine.run(*w);
+      if (!s.verified) state.SkipWithError("verification failed");
+      table.set(pattern, netcache::to_string(kind),
+                static_cast<double>(s.run_time));
+      state.counters[netcache::to_string(kind)] =
+          static_cast<double>(s.run_time);
+    }
+  }
+  state.SetLabel(pattern);
+}
+BENCHMARK(BM_Sharing)->DenseRange(0, 3)->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+NETCACHE_BENCH_MAIN(&table)

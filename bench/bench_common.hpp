@@ -1,0 +1,74 @@
+// Shared infrastructure for the per-figure/per-table benchmark binaries:
+// a simulate() helper and an aligned table printer that reproduces the
+// paper's rows/series.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/apps/workload.hpp"
+#include "src/core/machine.hpp"
+
+namespace netcache::bench {
+
+struct SimOptions {
+  int nodes = 16;
+  double scale = 1.0;
+  bool paper_size = false;
+  /// Final say on the machine configuration (L2 size, rate, ring, ...).
+  std::function<void(MachineConfig&)> tweak;
+};
+
+/// Builds a machine, runs `app` on it, and returns the summary. Aborts if
+/// the workload's functional verification fails — a benchmark on a broken
+/// run would be meaningless.
+core::RunSummary simulate(const std::string& app, SystemKind system,
+                          const SimOptions& opts = {});
+
+/// Ordered results table printed after the google-benchmark output.
+class Table {
+ public:
+  Table(std::string title, std::vector<std::string> columns);
+
+  void set(const std::string& row, const std::string& column, double value);
+  void print() const;
+
+  /// CSV rendering of the same table (header row, then one line per row).
+  std::string to_csv() const;
+
+  /// Writes to_csv() to <dir>/<sanitized-title>.csv.
+  void write_csv_to(const std::string& dir) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::string> row_order_;
+  std::map<std::string, std::map<std::string, double>> cells_;
+};
+
+/// Standard main body: run benchmarks, then print the collected tables.
+/// If the NETCACHE_BENCH_CSV_DIR environment variable is set, each table is
+/// also written there as <sanitized-title>.csv.
+int bench_main(int argc, char** argv,
+               const std::vector<const Table*>& tables);
+
+/// The twelve applications in the paper's Table 4 order.
+const std::vector<std::string>& all_apps();
+
+// Microbenchmark probes for the latency tables (contention-free means over
+// staggered transactions, as in the paper's Tables 1-3).
+double mean_cold_read_latency(SystemKind kind);
+double mean_ring_hit_latency();
+double mean_update_latency(SystemKind kind);
+
+}  // namespace netcache::bench
+
+/// Declares main() for a bench binary whose tables are listed in `...`.
+#define NETCACHE_BENCH_MAIN(...)                                       \
+  int main(int argc, char** argv) {                                    \
+    return netcache::bench::bench_main(argc, argv, {__VA_ARGS__});     \
+  }

@@ -1,0 +1,62 @@
+// Extension (paper Section 3.5): the ring as a disk block cache. Sweeps
+// fiber length under a skewed I/O workload: capacity (and hit rate) grow
+// linearly with fiber, and the disk's milliseconds dwarf the ring's
+// microseconds, so longer fiber wins.
+#include "bench/bench_common.hpp"
+#include "src/netdisk/disk_cache.hpp"
+
+namespace nb = netcache::bench;
+using namespace netcache;
+
+static nb::Table table("Extension: optical-ring disk cache vs fiber length",
+                       {"cacheKB", "hit%", "meanLatency"});
+
+namespace {
+
+sim::Task<void> reader(netdisk::DiskCachedVolume& volume, sim::Engine& engine,
+                       int requests, NodeId n) {
+  Rng local(1000 + static_cast<std::uint64_t>(n));
+  constexpr std::int64_t kVolumeBlocks = 16384;
+  constexpr std::int64_t kHotBlocks = kVolumeBlocks / 5;
+  for (int r = 0; r < requests; ++r) {
+    std::int64_t b =
+        (local.next_double() < 0.8)
+            ? static_cast<std::int64_t>(
+                  local.next_below(static_cast<std::uint32_t>(kHotBlocks)))
+            : static_cast<std::int64_t>(local.next_below(
+                  static_cast<std::uint32_t>(kVolumeBlocks)));
+    co_await volume.read(n, static_cast<Addr>(b) * 4096);
+    co_await engine.delay(200);
+  }
+}
+
+}  // namespace
+
+static void BM_DiskCache(benchmark::State& state) {
+  static const double kMeters[] = {100.0, 1000.0, 10000.0, 50000.0,
+                                   200000.0};
+  double meters = kMeters[state.range(0)];
+  for (auto _ : state) {
+    sim::Engine engine;
+    Rng rng(99);
+    netdisk::DiskConfig disk;
+    auto geometry = netdisk::DiskRingGeometry::from_fiber(
+        meters, 10.0, disk.block_bytes, 32);
+    netdisk::DiskCachedVolume volume(engine, disk, geometry, 16, rng);
+    for (NodeId n = 0; n < 16; ++n) {
+      engine.spawn(reader(volume, engine, 600, n));
+    }
+    engine.run();
+    std::string row = std::to_string(static_cast<int>(meters)) + "m";
+    table.set(row, "cacheKB",
+              static_cast<double>(volume.cache_bytes()) / 1024.0);
+    table.set(row, "hit%", 100.0 * volume.hit_rate());
+    table.set(row, "meanLatency", volume.mean_latency());
+    state.counters["hit%"] = 100.0 * volume.hit_rate();
+  }
+  state.SetLabel(std::to_string(static_cast<int>(meters)) + "m");
+}
+BENCHMARK(BM_DiskCache)->DenseRange(0, 4)->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+NETCACHE_BENCH_MAIN(&table)

@@ -1,0 +1,34 @@
+// Figure 11: 32-KB shared cache hit rates with fully-associative vs
+// direct-mapped cache channels.
+#include "bench/bench_common.hpp"
+
+namespace nb = netcache::bench;
+using netcache::RingAssociativity;
+using netcache::SystemKind;
+
+static nb::Table table("Figure 11: hit rate (%) by channel associativity",
+                       {"Fully", "Direct"});
+
+static void BM_Assoc(benchmark::State& state) {
+  const std::string app = nb::all_apps()[static_cast<size_t>(state.range(0))];
+  for (auto _ : state) {
+    for (RingAssociativity assoc :
+         {RingAssociativity::kFullyAssociative,
+          RingAssociativity::kDirectMapped}) {
+      nb::SimOptions opts;
+      opts.tweak = [assoc](netcache::MachineConfig& cfg) {
+        cfg.ring.associativity = assoc;
+      };
+      auto s = nb::simulate(app, SystemKind::kNetCache, opts);
+      table.set(app, netcache::to_string(assoc),
+                100.0 * s.shared_cache_hit_rate);
+      state.counters[netcache::to_string(assoc)] =
+          100.0 * s.shared_cache_hit_rate;
+    }
+  }
+  state.SetLabel(app);
+}
+BENCHMARK(BM_Assoc)->DenseRange(0, 11)->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+NETCACHE_BENCH_MAIN(&table)

@@ -1,0 +1,34 @@
+// Figure 12: 32-KB shared cache hit rates under Random, LFU, LRU and FIFO
+// replacement (the paper's surprising result: Random wins).
+#include "bench/bench_common.hpp"
+
+namespace nb = netcache::bench;
+using netcache::RingReplacement;
+using netcache::SystemKind;
+
+static nb::Table table("Figure 12: hit rate (%) by replacement policy",
+                       {"Random", "LFU", "LRU", "FIFO"});
+
+static void BM_Replacement(benchmark::State& state) {
+  const std::string app = nb::all_apps()[static_cast<size_t>(state.range(0))];
+  for (auto _ : state) {
+    for (RingReplacement policy :
+         {RingReplacement::kRandom, RingReplacement::kLfu,
+          RingReplacement::kLru, RingReplacement::kFifo}) {
+      nb::SimOptions opts;
+      opts.tweak = [policy](netcache::MachineConfig& cfg) {
+        cfg.ring.replacement = policy;
+      };
+      auto s = nb::simulate(app, SystemKind::kNetCache, opts);
+      table.set(app, netcache::to_string(policy),
+                100.0 * s.shared_cache_hit_rate);
+      state.counters[netcache::to_string(policy)] =
+          100.0 * s.shared_cache_hit_rate;
+    }
+  }
+  state.SetLabel(app);
+}
+BENCHMARK(BM_Replacement)->DenseRange(0, 11)->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+NETCACHE_BENCH_MAIN(&table)

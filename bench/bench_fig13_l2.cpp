@@ -1,0 +1,37 @@
+// Figure 13: run time as a function of the 2nd-level cache size (16/32/64
+// KB) for Gauss (High-reuse) and Radix (Low-reuse) on all four systems.
+#include "bench/bench_common.hpp"
+
+namespace nb = netcache::bench;
+using netcache::SystemKind;
+
+static nb::Table table("Figure 13: run time (cycles) vs L2 size",
+                       {"16KB", "32KB", "64KB"});
+
+static const SystemKind kSystems[] = {
+    SystemKind::kNetCache, SystemKind::kLambdaNet, SystemKind::kDmonUpdate,
+    SystemKind::kDmonInvalidate};
+static const char* kApps[] = {"gauss", "radix"};
+
+static void BM_L2Size(benchmark::State& state) {
+  const std::string app = kApps[state.range(0)];
+  const SystemKind kind = kSystems[state.range(1)];
+  std::string row = app + "-" + netcache::to_string(kind);
+  for (auto _ : state) {
+    for (int kb : {16, 32, 64}) {
+      nb::SimOptions opts;
+      opts.tweak = [kb](netcache::MachineConfig& cfg) {
+        cfg.l2.size_bytes = kb * 1024;
+      };
+      auto s = nb::simulate(app, kind, opts);
+      std::string col = std::to_string(kb) + "KB";
+      table.set(row, col, static_cast<double>(s.run_time));
+      state.counters[col] = static_cast<double>(s.run_time);
+    }
+  }
+  state.SetLabel(row);
+}
+BENCHMARK(BM_L2Size)->ArgsProduct({{0, 1}, {0, 1, 2, 3}})
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+
+NETCACHE_BENCH_MAIN(&table)

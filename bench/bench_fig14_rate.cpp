@@ -1,0 +1,38 @@
+// Figure 14: run time as a function of the optical transmission rate
+// (5/10/20 Gbit/s) for Gauss and Radix on all four systems. The ring length
+// scales inversely with the rate, keeping shared cache capacity constant.
+#include "bench/bench_common.hpp"
+
+namespace nb = netcache::bench;
+using netcache::SystemKind;
+
+static nb::Table table("Figure 14: run time (cycles) vs transmission rate",
+                       {"5Gbps", "10Gbps", "20Gbps"});
+
+static const SystemKind kSystems[] = {
+    SystemKind::kNetCache, SystemKind::kLambdaNet, SystemKind::kDmonUpdate,
+    SystemKind::kDmonInvalidate};
+static const char* kApps[] = {"gauss", "radix"};
+
+static void BM_Rate(benchmark::State& state) {
+  const std::string app = kApps[state.range(0)];
+  const SystemKind kind = kSystems[state.range(1)];
+  std::string row = app + "-" + netcache::to_string(kind);
+  for (auto _ : state) {
+    for (int gbps : {5, 10, 20}) {
+      nb::SimOptions opts;
+      opts.tweak = [gbps](netcache::MachineConfig& cfg) {
+        cfg.gbit_per_s = static_cast<double>(gbps);
+      };
+      auto s = nb::simulate(app, kind, opts);
+      std::string col = std::to_string(gbps) + "Gbps";
+      table.set(row, col, static_cast<double>(s.run_time));
+      state.counters[col] = static_cast<double>(s.run_time);
+    }
+  }
+  state.SetLabel(row);
+}
+BENCHMARK(BM_Rate)->ArgsProduct({{0, 1}, {0, 1, 2, 3}})
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+
+NETCACHE_BENCH_MAIN(&table)

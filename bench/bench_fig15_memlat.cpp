@@ -1,0 +1,38 @@
+// Figure 15: run time as a function of the memory block read latency
+// (44/76/108 pcycles) for Gauss and Radix on all four systems — the paper's
+// "NetCache's advantage grows with the memory gap" result.
+#include "bench/bench_common.hpp"
+
+namespace nb = netcache::bench;
+using netcache::SystemKind;
+
+static nb::Table table("Figure 15: run time (cycles) vs memory read latency",
+                       {"44pc", "76pc", "108pc"});
+
+static const SystemKind kSystems[] = {
+    SystemKind::kNetCache, SystemKind::kLambdaNet, SystemKind::kDmonUpdate,
+    SystemKind::kDmonInvalidate};
+static const char* kApps[] = {"gauss", "radix"};
+
+static void BM_MemLat(benchmark::State& state) {
+  const std::string app = kApps[state.range(0)];
+  const SystemKind kind = kSystems[state.range(1)];
+  std::string row = app + "-" + netcache::to_string(kind);
+  for (auto _ : state) {
+    for (int pc : {44, 76, 108}) {
+      nb::SimOptions opts;
+      opts.tweak = [pc](netcache::MachineConfig& cfg) {
+        cfg.mem_block_read_cycles = pc;
+      };
+      auto s = nb::simulate(app, kind, opts);
+      std::string col = std::to_string(pc) + "pc";
+      table.set(row, col, static_cast<double>(s.run_time));
+      state.counters[col] = static_cast<double>(s.run_time);
+    }
+  }
+  state.SetLabel(row);
+}
+BENCHMARK(BM_MemLat)->ArgsProduct({{0, 1}, {0, 1, 2, 3}})
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+
+NETCACHE_BENCH_MAIN(&table)

@@ -1,0 +1,30 @@
+// Figure 5: speedups of the 16-node NetCache multiprocessor over a
+// single-node run, for all twelve applications.
+#include "bench/bench_common.hpp"
+
+namespace nb = netcache::bench;
+using netcache::SystemKind;
+
+static nb::Table table("Figure 5: NetCache 16-node speedups",
+                       {"t(1)", "t(16)", "speedup"});
+
+static void BM_Speedup(benchmark::State& state) {
+  const std::string app = nb::all_apps()[static_cast<size_t>(state.range(0))];
+  for (auto _ : state) {
+    nb::SimOptions one;
+    one.nodes = 1;
+    auto s1 = nb::simulate(app, SystemKind::kNetCache, one);
+    auto s16 = nb::simulate(app, SystemKind::kNetCache);
+    double speedup = static_cast<double>(s1.run_time) /
+                     static_cast<double>(s16.run_time);
+    state.counters["speedup"] = speedup;
+    table.set(app, "t(1)", static_cast<double>(s1.run_time));
+    table.set(app, "t(16)", static_cast<double>(s16.run_time));
+    table.set(app, "speedup", speedup);
+  }
+  state.SetLabel(app);
+}
+BENCHMARK(BM_Speedup)->DenseRange(0, 11)->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+NETCACHE_BENCH_MAIN(&table)

@@ -1,0 +1,34 @@
+// Figure 6: run times of NetCache, LambdaNet, DMON-U and DMON-I on 16
+// nodes, normalized to NetCache (the paper's headline comparison).
+#include "bench/bench_common.hpp"
+
+namespace nb = netcache::bench;
+using netcache::SystemKind;
+
+static nb::Table table(
+    "Figure 6: run times normalized to NetCache (16 nodes)",
+    {"NetCache", "LambdaNet", "DMON-U", "DMON-I"});
+
+static const SystemKind kSystems[] = {
+    SystemKind::kNetCache, SystemKind::kLambdaNet, SystemKind::kDmonUpdate,
+    SystemKind::kDmonInvalidate};
+
+static void BM_Runtime(benchmark::State& state) {
+  const std::string app = nb::all_apps()[static_cast<size_t>(state.range(0))];
+  for (auto _ : state) {
+    double base = 0.0;
+    for (SystemKind kind : kSystems) {
+      auto s = nb::simulate(app, kind);
+      if (kind == SystemKind::kNetCache) base = static_cast<double>(s.run_time);
+      table.set(app, netcache::to_string(kind),
+                static_cast<double>(s.run_time) / base);
+      state.counters[netcache::to_string(kind)] =
+          static_cast<double>(s.run_time);
+    }
+  }
+  state.SetLabel(app);
+}
+BENCHMARK(BM_Runtime)->DenseRange(0, 11)->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+NETCACHE_BENCH_MAIN(&table)

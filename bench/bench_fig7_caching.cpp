@@ -1,0 +1,36 @@
+// Figure 7: effectiveness of data caching in the NetCache — read latency as
+// a fraction of run time without the shared cache, the 32-KB shared cache
+// hit rate, and the reductions in L2-miss latency and total read latency.
+#include "bench/bench_common.hpp"
+
+namespace nb = netcache::bench;
+using netcache::SystemKind;
+
+static nb::Table table(
+    "Figure 7: shared-cache effectiveness (percentages)",
+    {"RL%ofTotal", "HitRate%", "MissLatRed%", "ReadLatRed%"});
+
+static void BM_Caching(benchmark::State& state) {
+  const std::string app = nb::all_apps()[static_cast<size_t>(state.range(0))];
+  for (auto _ : state) {
+    auto no_ring = nb::simulate(app, SystemKind::kNetCacheNoRing);
+    auto with_ring = nb::simulate(app, SystemKind::kNetCache);
+    double rl_frac = 100.0 * no_ring.read_latency_fraction;
+    double hit = 100.0 * with_ring.shared_cache_hit_rate;
+    double miss_red =
+        100.0 * (1.0 - with_ring.avg_l2_miss_latency /
+                           no_ring.avg_l2_miss_latency);
+    double read_red = 100.0 * (1.0 - with_ring.avg_read_latency /
+                                         no_ring.avg_read_latency);
+    table.set(app, "RL%ofTotal", rl_frac);
+    table.set(app, "HitRate%", hit);
+    table.set(app, "MissLatRed%", miss_red);
+    table.set(app, "ReadLatRed%", read_red);
+    state.counters["hit_rate"] = hit;
+  }
+  state.SetLabel(app);
+}
+BENCHMARK(BM_Caching)->DenseRange(0, 11)->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+NETCACHE_BENCH_MAIN(&table)

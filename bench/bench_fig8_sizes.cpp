@@ -1,0 +1,30 @@
+// Figure 8: shared cache hit rates for 16, 32 and 64-KB shared caches
+// (64 / 128 / 256 cache channels).
+#include "bench/bench_common.hpp"
+
+namespace nb = netcache::bench;
+using netcache::SystemKind;
+
+static nb::Table table("Figure 8: hit rate (%) vs shared cache size",
+                       {"16KB", "32KB", "64KB"});
+
+static void BM_Sizes(benchmark::State& state) {
+  const std::string app = nb::all_apps()[static_cast<size_t>(state.range(0))];
+  for (auto _ : state) {
+    for (int channels : {64, 128, 256}) {
+      nb::SimOptions opts;
+      opts.tweak = [channels](netcache::MachineConfig& cfg) {
+        cfg.ring.channels = channels;
+      };
+      auto s = nb::simulate(app, SystemKind::kNetCache, opts);
+      std::string col = std::to_string(channels / 4) + "KB";
+      table.set(app, col, 100.0 * s.shared_cache_hit_rate);
+      state.counters[col] = 100.0 * s.shared_cache_hit_rate;
+    }
+  }
+  state.SetLabel(app);
+}
+BENCHMARK(BM_Sizes)->DenseRange(0, 11)->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+NETCACHE_BENCH_MAIN(&table)

@@ -1,0 +1,34 @@
+// Figure 9: average read latency for no / 16 / 32 / 64-KB shared caches,
+// normalized to the no-shared-cache NetCache machine.
+#include "bench/bench_common.hpp"
+
+namespace nb = netcache::bench;
+using netcache::SystemKind;
+
+static nb::Table table(
+    "Figure 9: read latency normalized to no shared cache",
+    {"0KB", "16KB", "32KB", "64KB"});
+
+static void BM_ReadLat(benchmark::State& state) {
+  const std::string app = nb::all_apps()[static_cast<size_t>(state.range(0))];
+  for (auto _ : state) {
+    auto base = nb::simulate(app, SystemKind::kNetCacheNoRing);
+    table.set(app, "0KB", 1.0);
+    for (int channels : {64, 128, 256}) {
+      nb::SimOptions opts;
+      opts.tweak = [channels](netcache::MachineConfig& cfg) {
+        cfg.ring.channels = channels;
+      };
+      auto s = nb::simulate(app, SystemKind::kNetCache, opts);
+      std::string col = std::to_string(channels / 4) + "KB";
+      double norm = s.avg_read_latency / base.avg_read_latency;
+      table.set(app, col, norm);
+      state.counters[col] = norm;
+    }
+  }
+  state.SetLabel(app);
+}
+BENCHMARK(BM_ReadLat)->DenseRange(0, 11)->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+NETCACHE_BENCH_MAIN(&table)

@@ -1,0 +1,38 @@
+// Tables 1 and 2: measured contention-free read latencies vs the paper's
+// published breakdown totals (NetCache hit 46 / miss 119; LambdaNet 111;
+// DMON 135).
+#include "bench/bench_common.hpp"
+
+namespace nb = netcache::bench;
+using netcache::SystemKind;
+
+static nb::Table table("Tables 1-2: read latencies (pcycles)",
+                       {"measured", "paper"});
+
+static void BM_NetCacheHit(benchmark::State& state) {
+  for (auto _ : state) {
+    double v = nb::mean_ring_hit_latency();
+    table.set("NC-hit", "measured", v);
+    table.set("NC-hit", "paper", 46.0);
+    state.counters["pcycles"] = v;
+  }
+}
+BENCHMARK(BM_NetCacheHit)->Iterations(1);
+
+static void BM_ColdMiss(benchmark::State& state) {
+  static const SystemKind kinds[] = {
+      SystemKind::kNetCache, SystemKind::kLambdaNet, SystemKind::kDmonUpdate,
+      SystemKind::kDmonInvalidate};
+  static const double paper[] = {119.0, 111.0, 135.0, 135.0};
+  const auto i = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    double v = nb::mean_cold_read_latency(kinds[i]);
+    table.set(netcache::to_string(kinds[i]), "measured", v);
+    table.set(netcache::to_string(kinds[i]), "paper", paper[i]);
+    state.counters["pcycles"] = v;
+  }
+  state.SetLabel(netcache::to_string(kinds[i]));
+}
+BENCHMARK(BM_ColdMiss)->DenseRange(0, 3)->Iterations(1);
+
+NETCACHE_BENCH_MAIN(&table)

@@ -1,0 +1,27 @@
+// Table 3: measured coherence-transaction latencies (8 dirty words) vs the
+// paper's totals: NetCache 41, LambdaNet 24, DMON-U 43, DMON-I 37.
+#include "bench/bench_common.hpp"
+
+namespace nb = netcache::bench;
+using netcache::SystemKind;
+
+static nb::Table table("Table 3: coherence transaction latency (pcycles)",
+                       {"measured", "paper"});
+
+static void BM_Coherence(benchmark::State& state) {
+  static const SystemKind kinds[] = {
+      SystemKind::kNetCache, SystemKind::kLambdaNet, SystemKind::kDmonUpdate,
+      SystemKind::kDmonInvalidate};
+  static const double paper[] = {41.0, 24.0, 43.0, 37.0};
+  const auto i = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    double v = nb::mean_update_latency(kinds[i]);
+    table.set(netcache::to_string(kinds[i]), "measured", v);
+    table.set(netcache::to_string(kinds[i]), "paper", paper[i]);
+    state.counters["pcycles"] = v;
+  }
+  state.SetLabel(netcache::to_string(kinds[i]));
+}
+BENCHMARK(BM_Coherence)->DenseRange(0, 3)->Iterations(1);
+
+NETCACHE_BENCH_MAIN(&table)

@@ -1,0 +1,27 @@
+// Table 4: the application suite — one short reference run per application
+// on the base NetCache machine, reporting the workload's intensity
+// (timed accesses and simulated cycles).
+#include "bench/bench_common.hpp"
+
+namespace nb = netcache::bench;
+using netcache::SystemKind;
+
+static nb::Table table("Table 4: application suite at default (reduced) size",
+                       {"reads", "writes", "updates", "cycles"});
+
+static void BM_Workload(benchmark::State& state) {
+  const std::string app = nb::all_apps()[static_cast<size_t>(state.range(0))];
+  for (auto _ : state) {
+    auto s = nb::simulate(app, SystemKind::kNetCache);
+    table.set(app, "reads", static_cast<double>(s.totals.reads));
+    table.set(app, "writes", static_cast<double>(s.totals.writes));
+    table.set(app, "updates", static_cast<double>(s.totals.updates_sent));
+    table.set(app, "cycles", static_cast<double>(s.run_time));
+    state.counters["reads"] = static_cast<double>(s.totals.reads);
+  }
+  state.SetLabel(app);
+}
+BENCHMARK(BM_Workload)->DenseRange(0, 11)->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+NETCACHE_BENCH_MAIN(&table)

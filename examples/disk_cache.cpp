@@ -1,0 +1,76 @@
+// Example: the paper's Section 3.5 extension — the optical ring as a disk
+// block cache. Sweeps the fiber length (cache capacity grows linearly, the
+// access delay grows with it too) under a skewed block-access workload and
+// prints the crossover the paper predicts: a few extra kilometres of fiber
+// buy a large fraction of disk accesses back.
+//
+//   ./example_disk_cache [requests-per-node]
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/common/rng.hpp"
+#include "src/netdisk/disk_cache.hpp"
+#include "src/sim/engine.hpp"
+
+using namespace netcache;
+
+namespace {
+
+/// One reader node: `requests` skewed reads, 80% of them into the hot 20%
+/// of the volume. (A free-function coroutine: parameters are copied into
+/// the coroutine frame, unlike lambda captures.)
+sim::Task<void> reader(netdisk::DiskCachedVolume& volume, sim::Engine& engine,
+                       int requests, NodeId n, std::int64_t volume_blocks,
+                       std::int64_t hot_blocks) {
+  Rng local(1000 + static_cast<std::uint64_t>(n));
+  for (int r = 0; r < requests; ++r) {
+    std::int64_t b =
+        (local.next_double() < 0.8)
+            ? static_cast<std::int64_t>(
+                  local.next_below(static_cast<std::uint32_t>(hot_blocks)))
+            : static_cast<std::int64_t>(
+                  local.next_below(static_cast<std::uint32_t>(volume_blocks)));
+    co_await volume.read(n, static_cast<Addr>(b) * 4096);
+    co_await engine.delay(200);  // think time between requests
+  }
+}
+
+void run_sweep(double fiber_meters, int nodes, int requests) {
+  sim::Engine engine;
+  Rng rng(99);
+  netdisk::DiskConfig disk;
+  auto geometry = netdisk::DiskRingGeometry::from_fiber(
+      fiber_meters, /*gbit_per_s=*/10.0, disk.block_bytes, /*channels=*/32);
+  netdisk::DiskCachedVolume volume(engine, disk, geometry, nodes, rng);
+
+  const std::int64_t volume_blocks = 16384;  // 64 MB volume of 4-KB blocks
+  const std::int64_t hot_blocks = volume_blocks / 5;
+
+  for (NodeId n = 0; n < nodes; ++n) {
+    engine.spawn(
+        reader(volume, engine, requests, n, volume_blocks, hot_blocks));
+  }
+  engine.run();
+
+  std::printf("%9.0f m  cache %7.1f KB  rt %8lld pc  hit %5.1f%%  "
+              "mean latency %9.0f pc\n",
+              fiber_meters,
+              static_cast<double>(volume.cache_bytes()) / 1024.0,
+              static_cast<long long>(geometry.roundtrip_cycles),
+              100.0 * volume.hit_rate(), volume.mean_latency());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int requests = argc > 1 ? std::atoi(argv[1]) : 400;
+  std::printf("optical-ring disk cache, 16 readers, 64 MB volume, "
+              "80/20 skew\n\n");
+  for (double meters : {100.0, 1000.0, 10000.0, 50000.0, 200000.0}) {
+    run_sweep(meters, 16, requests);
+  }
+  std::printf("\nLonger fiber = larger cache (linear) but slower hits; the\n"
+              "disk's milliseconds dwarf the ring's microseconds, so hit\n"
+              "rate wins (paper Section 3.5).\n");
+  return 0;
+}

@@ -1,0 +1,167 @@
+// netcache_sim — command-line driver for the simulator. Exposes every knob
+// the paper's parameter-space study varies, plus the repository extensions.
+//
+//   ./example_netcache_sim --app=gauss --system=netcache --nodes=16
+//   ./example_netcache_sim --app=radix --system=dmon-i --l2-kb=64 --report
+//   ./example_netcache_sim --trace=foo.trace --system=lambdanet
+//   ./example_netcache_sim --help
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/apps/synthetic.hpp"
+#include "src/apps/trace.hpp"
+#include "src/apps/workload.hpp"
+#include "src/core/machine.hpp"
+#include "src/core/report.hpp"
+
+using namespace netcache;
+
+namespace {
+
+struct Options {
+  std::string app = "sor";
+  std::string trace_path;
+  std::string synthetic;
+  SystemKind system = SystemKind::kNetCache;
+  int nodes = 16;
+  double scale = 1.0;
+  bool paper_size = false;
+  int l2_kb = 16;
+  int channels = 128;
+  double gbps = 10.0;
+  Cycles mem = 76;
+  RingReplacement policy = RingReplacement::kRandom;
+  RingAssociativity assoc = RingAssociativity::kFullyAssociative;
+  bool prefetch = false;
+  bool ring_only_reads = false;
+  bool report = false;
+};
+
+void usage() {
+  std::printf(
+      "netcache_sim — NetCache multiprocessor simulator\n\n"
+      "  --app=NAME         one of:");
+  for (const auto& n : apps::workload_names()) std::printf(" %s", n.c_str());
+  std::printf(
+      "\n"
+      "  --synthetic=PAT    uniform | hot | prodcons | stream\n"
+      "  --trace=FILE       replay a memory-reference trace instead\n"
+      "  --system=S         netcache | netcache-noring | lambdanet | dmon-u"
+      " | dmon-i\n"
+      "  --nodes=N          machine width (default 16)\n"
+      "  --scale=X          workload scale factor (default 1.0)\n"
+      "  --paper-size       use the paper's Table 4 inputs\n"
+      "  --l2-kb=K          2nd-level cache size (default 16)\n"
+      "  --channels=Q       ring cache channels (default 128; 4 blocks each)\n"
+      "  --gbps=R           transmission rate (default 10)\n"
+      "  --mem=C            memory block read pcycles (default 76)\n"
+      "  --policy=P         random | lfu | lru | fifo\n"
+      "  --assoc=A          full | direct\n"
+      "  --prefetch         enable sequential prefetch\n"
+      "  --ring-only-reads  disable the parallel star-path read start\n"
+      "  --report           print the full per-node report\n");
+}
+
+bool parse_flag(const char* arg, const char* name, std::string* out) {
+  std::size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
+    *out = arg + len + 1;
+    return true;
+  }
+  return false;
+}
+
+bool parse(int argc, char** argv, Options* opt) {
+  for (int i = 1; i < argc; ++i) {
+    std::string v;
+    const char* a = argv[i];
+    if (std::strcmp(a, "--help") == 0) return false;
+    if (std::strcmp(a, "--paper-size") == 0) { opt->paper_size = true; continue; }
+    if (std::strcmp(a, "--prefetch") == 0) { opt->prefetch = true; continue; }
+    if (std::strcmp(a, "--ring-only-reads") == 0) { opt->ring_only_reads = true; continue; }
+    if (std::strcmp(a, "--report") == 0) { opt->report = true; continue; }
+    if (parse_flag(a, "--app", &v)) { opt->app = v; continue; }
+    if (parse_flag(a, "--trace", &v)) { opt->trace_path = v; continue; }
+    if (parse_flag(a, "--synthetic", &v)) { opt->synthetic = v; continue; }
+    if (parse_flag(a, "--nodes", &v)) { opt->nodes = std::atoi(v.c_str()); continue; }
+    if (parse_flag(a, "--scale", &v)) { opt->scale = std::atof(v.c_str()); continue; }
+    if (parse_flag(a, "--l2-kb", &v)) { opt->l2_kb = std::atoi(v.c_str()); continue; }
+    if (parse_flag(a, "--channels", &v)) { opt->channels = std::atoi(v.c_str()); continue; }
+    if (parse_flag(a, "--gbps", &v)) { opt->gbps = std::atof(v.c_str()); continue; }
+    if (parse_flag(a, "--mem", &v)) { opt->mem = std::atoll(v.c_str()); continue; }
+    if (parse_flag(a, "--system", &v)) {
+      if (v == "netcache") opt->system = SystemKind::kNetCache;
+      else if (v == "netcache-noring") opt->system = SystemKind::kNetCacheNoRing;
+      else if (v == "lambdanet") opt->system = SystemKind::kLambdaNet;
+      else if (v == "dmon-u") opt->system = SystemKind::kDmonUpdate;
+      else if (v == "dmon-i") opt->system = SystemKind::kDmonInvalidate;
+      else { std::fprintf(stderr, "unknown system '%s'\n", v.c_str()); return false; }
+      continue;
+    }
+    if (parse_flag(a, "--policy", &v)) {
+      if (v == "random") opt->policy = RingReplacement::kRandom;
+      else if (v == "lfu") opt->policy = RingReplacement::kLfu;
+      else if (v == "lru") opt->policy = RingReplacement::kLru;
+      else if (v == "fifo") opt->policy = RingReplacement::kFifo;
+      else { std::fprintf(stderr, "unknown policy '%s'\n", v.c_str()); return false; }
+      continue;
+    }
+    if (parse_flag(a, "--assoc", &v)) {
+      if (v == "full") opt->assoc = RingAssociativity::kFullyAssociative;
+      else if (v == "direct") opt->assoc = RingAssociativity::kDirectMapped;
+      else { std::fprintf(stderr, "unknown associativity '%s'\n", v.c_str()); return false; }
+      continue;
+    }
+    std::fprintf(stderr, "unknown argument '%s'\n", a);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse(argc, argv, &opt)) {
+    usage();
+    return 1;
+  }
+
+  MachineConfig config;
+  config.nodes = opt.nodes;
+  config.system = opt.system;
+  config.l2.size_bytes = opt.l2_kb * 1024;
+  config.ring.channels = opt.channels;
+  config.gbit_per_s = opt.gbps;
+  config.mem_block_read_cycles = opt.mem;
+  config.ring.replacement = opt.policy;
+  config.ring.associativity = opt.assoc;
+  config.sequential_prefetch = opt.prefetch;
+  config.reads_start_on_star = !opt.ring_only_reads;
+
+  core::Machine machine(config);
+  std::unique_ptr<apps::Workload> workload;
+  if (!opt.trace_path.empty()) {
+    workload = apps::TraceWorkload::from_file(opt.trace_path);
+  } else if (!opt.synthetic.empty()) {
+    apps::SyntheticSpec spec;
+    spec.pattern = opt.synthetic;
+    workload = apps::make_synthetic(spec);
+  } else {
+    apps::WorkloadParams params;
+    params.scale = opt.scale;
+    params.paper_size = opt.paper_size;
+    workload = apps::make_workload(opt.app, params);
+  }
+
+  auto summary = machine.run(*workload);
+  if (opt.report) {
+    std::printf("%s", core::detailed_report(config, machine.stats(),
+                                            summary).c_str());
+  } else {
+    std::printf("%s\n", core::format_summary(summary).c_str());
+  }
+  return summary.verified ? 0 : 1;
+}

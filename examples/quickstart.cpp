@@ -1,0 +1,35 @@
+// Quickstart: simulate one application on the four systems the paper
+// compares, and print run times + shared-cache behaviour.
+//
+//   ./example_quickstart [app] [nodes]
+//
+// app defaults to "sor", nodes to 16.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/apps/workload.hpp"
+#include "src/core/machine.hpp"
+
+using namespace netcache;
+
+int main(int argc, char** argv) {
+  std::string app = argc > 1 ? argv[1] : "sor";
+  int nodes = argc > 2 ? std::atoi(argv[2]) : 16;
+
+  const SystemKind kinds[] = {SystemKind::kNetCache, SystemKind::kLambdaNet,
+                              SystemKind::kDmonUpdate,
+                              SystemKind::kDmonInvalidate};
+  std::printf("app=%s nodes=%d\n", app.c_str(), nodes);
+  for (SystemKind kind : kinds) {
+    MachineConfig config;
+    config.nodes = nodes;
+    config.system = kind;
+    core::Machine machine(config);
+    auto workload = apps::make_workload(app);
+    core::RunSummary s = machine.run(*workload);
+    std::printf("%s\n", core::format_summary(s).c_str());
+    if (!s.verified) return 1;
+  }
+  return 0;
+}

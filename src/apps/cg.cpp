@@ -1,0 +1,228 @@
+// CG: conjugate-gradient kernel on a sparse diagonally-dominant matrix,
+// after the NAS CG benchmark (paper Table 4: 1400x1400, 78148 non-zeros).
+// Dot products reduce through a shared partials vector with barriers.
+#include <cmath>
+#include <vector>
+
+#include "src/apps/workload.hpp"
+#include "src/common/rng.hpp"
+
+namespace netcache::apps {
+
+namespace {
+
+class Cg final : public Workload {
+ public:
+  explicit Cg(const WorkloadParams& p) : seed_(p.seed) {
+    if (p.paper_size) {
+      n_ = 1400;
+      per_row_ = 56;  // ~78 K non-zeros
+      iters_ = 15;
+    } else {
+      n_ = std::max(256, static_cast<int>(1024 * p.scale));
+      per_row_ = 16;
+      iters_ = 8;
+    }
+  }
+
+  const char* name() const override { return "cg"; }
+
+  void setup(core::Machine& machine) override {
+    threads_ = machine.nodes();
+    // Build the CSR matrix functionally first.
+    Rng rng(seed_);
+    std::vector<int> rowptr(static_cast<std::size_t>(n_) + 1, 0);
+    std::vector<int> colidx;
+    std::vector<double> vals;
+    for (int i = 0; i < n_; ++i) {
+      rowptr[static_cast<std::size_t>(i)] = static_cast<int>(colidx.size());
+      colidx.push_back(i);
+      vals.push_back(static_cast<double>(per_row_) + 1.0 + rng.next_double());
+      for (int k = 1; k < per_row_; ++k) {
+        colidx.push_back(static_cast<int>(rng.next_below(
+            static_cast<std::uint32_t>(n_))));
+        vals.push_back(rng.next_double() * 0.5);
+      }
+    }
+    rowptr[static_cast<std::size_t>(n_)] = static_cast<int>(colidx.size());
+
+    rowptr_.allocate(machine, rowptr.size());
+    colidx_.allocate(machine, colidx.size());
+    vals_.allocate(machine, vals.size());
+    rowptr_.raw_data() = rowptr;
+    colidx_.raw_data() = colidx;
+    vals_.raw_data() = vals;
+
+    x_.allocate(machine, static_cast<std::size_t>(n_));
+    r_.allocate(machine, static_cast<std::size_t>(n_));
+    p_.allocate(machine, static_cast<std::size_t>(n_));
+    q_.allocate(machine, static_cast<std::size_t>(n_));
+    partials_.allocate(machine, static_cast<std::size_t>(threads_));
+    for (int i = 0; i < n_; ++i) {
+      double b = rng.next_double();
+      x_.raw(static_cast<std::size_t>(i)) = 0.0;
+      r_.raw(static_cast<std::size_t>(i)) = b;
+      p_.raw(static_cast<std::size_t>(i)) = b;
+    }
+    reference_solve();
+    barrier_ = &machine.make_barrier(threads_);
+  }
+
+  sim::Task<void> run(core::Cpu& cpu, int tid) override {
+    Range rows = partition(static_cast<std::size_t>(n_), tid, threads_);
+
+    // rho = r . r
+    double part = 0.0;
+    for (std::size_t i = rows.begin; i < rows.end; ++i) {
+      double ri = co_await r_.rd(cpu, i);
+      part += ri * ri;
+      co_await cpu.compute(2);
+    }
+    co_await partials_.wr(cpu, static_cast<std::size_t>(tid), part);
+    co_await barrier_->wait(cpu);
+    double rho = 0.0;
+    for (int t = 0; t < threads_; ++t) {
+      rho += co_await partials_.rd(cpu, static_cast<std::size_t>(t));
+    }
+    // Everyone must finish reading the partials before they are reused.
+    co_await barrier_->wait(cpu);
+
+    for (int it = 0; it < iters_; ++it) {
+      // q = A p over this node's rows.
+      double pq_part = 0.0;
+      for (std::size_t i = rows.begin; i < rows.end; ++i) {
+        int lo = co_await rowptr_.rd(cpu, i);
+        int hi = co_await rowptr_.rd(cpu, i + 1);
+        double acc = 0.0;
+        for (int k = lo; k < hi; ++k) {
+          int col = co_await colidx_.rd(cpu, static_cast<std::size_t>(k));
+          double v = co_await vals_.rd(cpu, static_cast<std::size_t>(k));
+          acc += v * (co_await p_.rd(cpu, static_cast<std::size_t>(col)));
+        }
+        co_await q_.wr(cpu, i, acc);
+        double pi = co_await p_.rd(cpu, i);
+        pq_part += pi * acc;
+        co_await cpu.compute(5 * (hi - lo) + 4);
+      }
+      co_await partials_.wr(cpu, static_cast<std::size_t>(tid), pq_part);
+      co_await barrier_->wait(cpu);
+      double pq = 0.0;
+      for (int t = 0; t < threads_; ++t) {
+        pq += co_await partials_.rd(cpu, static_cast<std::size_t>(t));
+      }
+      double alpha = rho / pq;
+
+      // x += alpha p; r -= alpha q; rho' = r . r
+      double rr_part = 0.0;
+      for (std::size_t i = rows.begin; i < rows.end; ++i) {
+        double xi = co_await x_.rd(cpu, i);
+        double pi = co_await p_.rd(cpu, i);
+        co_await x_.wr(cpu, i, xi + alpha * pi);
+        double ri = co_await r_.rd(cpu, i);
+        double qi = co_await q_.rd(cpu, i);
+        double rn = ri - alpha * qi;
+        co_await r_.wr(cpu, i, rn);
+        rr_part += rn * rn;
+        co_await cpu.compute(10);
+      }
+      co_await barrier_->wait(cpu);
+      co_await partials_.wr(cpu, static_cast<std::size_t>(tid), rr_part);
+      co_await barrier_->wait(cpu);
+      double rho_new = 0.0;
+      for (int t = 0; t < threads_; ++t) {
+        rho_new += co_await partials_.rd(cpu, static_cast<std::size_t>(t));
+      }
+      double beta = rho_new / rho;
+      rho = rho_new;
+
+      // p = r + beta p
+      for (std::size_t i = rows.begin; i < rows.end; ++i) {
+        double ri = co_await r_.rd(cpu, i);
+        double pi = co_await p_.rd(cpu, i);
+        co_await p_.wr(cpu, i, ri + beta * pi);
+        co_await cpu.compute(4);
+      }
+      co_await barrier_->wait(cpu);
+    }
+  }
+
+  bool verify() override {
+    for (int i = 0; i < n_; ++i) {
+      double got = x_.raw(static_cast<std::size_t>(i));
+      double want = ref_x_[static_cast<std::size_t>(i)];
+      if (std::abs(got - want) >
+          1e-9 * std::max(1.0, std::abs(want))) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  void reference_solve() {
+    // Mirrors the parallel schedule: per-thread partial sums accumulated in
+    // thread order, so the FP result matches to rounding error.
+    std::size_t n = static_cast<std::size_t>(n_);
+    std::vector<double> x(n, 0.0), r(n), p(n), q(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      r[i] = r_.raw(i);
+      p[i] = p_.raw(i);
+    }
+    auto dot_partitioned = [&](const std::vector<double>& a,
+                               const std::vector<double>& b) {
+      double total = 0.0;
+      for (int t = 0; t < threads_; ++t) {
+        Range rr = partition(n, t, threads_);
+        double part = 0.0;
+        for (std::size_t i = rr.begin; i < rr.end; ++i) part += a[i] * b[i];
+        total += part;
+      }
+      return total;
+    };
+    double rho = dot_partitioned(r, r);
+    for (int it = 0; it < iters_; ++it) {
+      for (std::size_t i = 0; i < n; ++i) {
+        int lo = rowptr_.raw(i);
+        int hi = rowptr_.raw(i + 1);
+        double acc = 0.0;
+        for (int k = lo; k < hi; ++k) {
+          acc += vals_.raw(static_cast<std::size_t>(k)) *
+                 p[static_cast<std::size_t>(
+                     colidx_.raw(static_cast<std::size_t>(k)))];
+        }
+        q[i] = acc;
+      }
+      double alpha = rho / dot_partitioned(p, q);
+      for (std::size_t i = 0; i < n; ++i) {
+        x[i] += alpha * p[i];
+        r[i] -= alpha * q[i];
+      }
+      double rho_new = dot_partitioned(r, r);
+      double beta = rho_new / rho;
+      rho = rho_new;
+      for (std::size_t i = 0; i < n; ++i) p[i] = r[i] + beta * p[i];
+    }
+    ref_x_ = std::move(x);
+  }
+
+  std::uint64_t seed_;
+  int n_;
+  int per_row_;
+  int iters_;
+  int threads_ = 1;
+  SharedArray<int> rowptr_;
+  SharedArray<int> colidx_;
+  SharedArray<double> vals_;
+  SharedArray<double> x_, r_, p_, q_;
+  SharedArray<double> partials_;
+  std::vector<double> ref_x_;
+  core::Barrier* barrier_ = nullptr;
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_cg(const WorkloadParams& p) {
+  return std::make_unique<Cg>(p);
+}
+
+}  // namespace netcache::apps

@@ -1,0 +1,244 @@
+// FFT: 1D complex transform using the SPLASH-2 six-step algorithm (paper
+// Table 4: 16 K points). The N = m*m points are viewed as an m x m matrix:
+// transpose, per-row FFTs, twiddle scaling, transpose, per-row FFTs,
+// transpose. Row FFTs are node-local; the transposes stream the whole data
+// set across nodes with no reuse — the paper's Low-reuse behaviour.
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "src/apps/workload.hpp"
+#include "src/common/rng.hpp"
+
+namespace netcache::apps {
+
+namespace {
+
+class Fft final : public Workload {
+ public:
+  explicit Fft(const WorkloadParams& p) : seed_(p.seed) {
+    int target = p.paper_size
+                     ? 128
+                     : std::max(32, static_cast<int>(128 * std::sqrt(p.scale)));
+    m_ = 1;
+    while (m_ < target) m_ <<= 1;
+    n_ = m_ * m_;
+    logm_ = 0;
+    for (int v = m_; v > 1; v >>= 1) ++logm_;
+  }
+
+  const char* name() const override { return "fft"; }
+
+  void setup(core::Machine& machine) override {
+    threads_ = machine.nodes();
+    // Interleaved complex layout: (re, im) pairs, row-major m x m matrix.
+    data_.allocate(machine, 2 * static_cast<std::size_t>(n_));
+    scratch_.allocate(machine, 2 * static_cast<std::size_t>(n_));
+    Rng rng(seed_);
+    ref_.resize(2 * static_cast<std::size_t>(n_));
+    for (std::size_t i = 0; i < 2 * static_cast<std::size_t>(n_); ++i) {
+      double v = rng.next_double() - 0.5;
+      data_.raw(i) = v;
+      ref_[i] = v;
+    }
+    reference_fft();
+    barrier_ = &machine.make_barrier(threads_);
+  }
+
+  sim::Task<void> run(core::Cpu& cpu, int tid) override {
+    co_await transpose(cpu, tid, data_, scratch_);
+    co_await row_ffts(cpu, tid, scratch_);
+    co_await twiddle(cpu, tid, scratch_);
+    co_await transpose(cpu, tid, scratch_, data_);
+    co_await row_ffts(cpu, tid, data_);
+    co_await transpose(cpu, tid, data_, scratch_);
+    // Copy back so the result lands in data_.
+    Range rows = partition(static_cast<std::size_t>(m_), tid, threads_);
+    for (std::size_t r = rows.begin; r < rows.end; ++r) {
+      for (int c = 0; c < 2 * m_; ++c) {
+        double v = co_await scratch_.rd(
+            cpu, r * 2 * static_cast<std::size_t>(m_) + c);
+        co_await data_.wr(cpu, r * 2 * static_cast<std::size_t>(m_) + c, v);
+      }
+    }
+    co_await barrier_->wait(cpu);
+  }
+
+  bool verify() override {
+    for (std::size_t i = 0; i < 2 * static_cast<std::size_t>(n_); ++i) {
+      if (data_.raw(i) != ref_[i]) return false;
+    }
+    return true;
+  }
+
+ private:
+  std::size_t re_at(int row, int col) const {
+    return 2 * (static_cast<std::size_t>(row) * m_ +
+                static_cast<std::size_t>(col));
+  }
+
+  /// dst = src^T, partitioned by destination row. Pure streaming: every
+  /// source column walk touches m distinct blocks across all homes.
+  sim::Task<void> transpose(core::Cpu& cpu, int tid, SharedArray<double>& src,
+                            SharedArray<double>& dst) {
+    Range rows = partition(static_cast<std::size_t>(m_), tid, threads_);
+    for (std::size_t r = rows.begin; r < rows.end; ++r) {
+      for (int c = 0; c < m_; ++c) {
+        double re = co_await src.rd(cpu, re_at(c, static_cast<int>(r)));
+        double im = co_await src.rd(cpu, re_at(c, static_cast<int>(r)) + 1);
+        co_await dst.wr(cpu, re_at(static_cast<int>(r), c), re);
+        co_await dst.wr(cpu, re_at(static_cast<int>(r), c) + 1, im);
+      }
+    }
+    co_await barrier_->wait(cpu);
+  }
+
+  /// In-place radix-2 FFT of every row this node owns (a row is 16*m bytes,
+  /// local to the node's caches while it works on it).
+  sim::Task<void> row_ffts(core::Cpu& cpu, int tid, SharedArray<double>& a) {
+    Range rows = partition(static_cast<std::size_t>(m_), tid, threads_);
+    for (std::size_t r = rows.begin; r < rows.end; ++r) {
+      int row = static_cast<int>(r);
+      for (int i = 0; i < m_; ++i) {
+        int j = reverse_bits(i);
+        if (j <= i) continue;
+        double ri = co_await a.rd(cpu, re_at(row, i));
+        double ii = co_await a.rd(cpu, re_at(row, i) + 1);
+        double rj = co_await a.rd(cpu, re_at(row, j));
+        double ij = co_await a.rd(cpu, re_at(row, j) + 1);
+        co_await a.wr(cpu, re_at(row, i), rj);
+        co_await a.wr(cpu, re_at(row, i) + 1, ij);
+        co_await a.wr(cpu, re_at(row, j), ri);
+        co_await a.wr(cpu, re_at(row, j) + 1, ii);
+      }
+      for (int s = 1; s <= logm_; ++s) {
+        int m2 = 1 << s;
+        int half = m2 / 2;
+        for (int g = 0; g < m_; g += m2) {
+          for (int t = 0; t < half; ++t) {
+            double ang = -2.0 * std::numbers::pi * t / m2;
+            double wr = std::cos(ang), wi = std::sin(ang);
+            int lo = g + t, hi = lo + half;
+            double rlo = co_await a.rd(cpu, re_at(row, lo));
+            double ilo = co_await a.rd(cpu, re_at(row, lo) + 1);
+            double rhi = co_await a.rd(cpu, re_at(row, hi));
+            double ihi = co_await a.rd(cpu, re_at(row, hi) + 1);
+            double tr = wr * rhi - wi * ihi;
+            double ti = wr * ihi + wi * rhi;
+            co_await a.wr(cpu, re_at(row, lo), rlo + tr);
+            co_await a.wr(cpu, re_at(row, lo) + 1, ilo + ti);
+            co_await a.wr(cpu, re_at(row, hi), rlo - tr);
+            co_await a.wr(cpu, re_at(row, hi) + 1, ilo - ti);
+            co_await cpu.compute(20);
+          }
+        }
+      }
+    }
+    co_await barrier_->wait(cpu);
+  }
+
+  /// a[i][j] *= W_N^(i*j) over this node's rows.
+  sim::Task<void> twiddle(core::Cpu& cpu, int tid, SharedArray<double>& a) {
+    Range rows = partition(static_cast<std::size_t>(m_), tid, threads_);
+    for (std::size_t r = rows.begin; r < rows.end; ++r) {
+      int row = static_cast<int>(r);
+      for (int c = 0; c < m_; ++c) {
+        double ang = -2.0 * std::numbers::pi *
+                     (static_cast<double>(row) * c) / n_;
+        double wr = std::cos(ang), wi = std::sin(ang);
+        double re = co_await a.rd(cpu, re_at(row, c));
+        double im = co_await a.rd(cpu, re_at(row, c) + 1);
+        co_await a.wr(cpu, re_at(row, c), re * wr - im * wi);
+        co_await a.wr(cpu, re_at(row, c) + 1, re * wi + im * wr);
+        co_await cpu.compute(12);
+      }
+    }
+    co_await barrier_->wait(cpu);
+  }
+
+  int reverse_bits(int v) const {
+    int r = 0;
+    for (int b = 0; b < logm_; ++b) r = (r << 1) | ((v >> b) & 1);
+    return r;
+  }
+
+  // ---- sequential mirror for verification ----
+  void reference_fft() {
+    auto at = [&](std::vector<double>& a, int row, int col) -> double* {
+      return &a[2 * (static_cast<std::size_t>(row) * m_ + col)];
+    };
+    auto rfft = [&](std::vector<double>& a, int row) {
+      for (int i = 0; i < m_; ++i) {
+        int j = reverse_bits(i);
+        if (j <= i) continue;
+        std::swap(at(a, row, i)[0], at(a, row, j)[0]);
+        std::swap(at(a, row, i)[1], at(a, row, j)[1]);
+      }
+      for (int s = 1; s <= logm_; ++s) {
+        int m2 = 1 << s, half = m2 / 2;
+        for (int g = 0; g < m_; g += m2) {
+          for (int t = 0; t < half; ++t) {
+            double ang = -2.0 * std::numbers::pi * t / m2;
+            double wr = std::cos(ang), wi = std::sin(ang);
+            int lo = g + t, hi = lo + half;
+            double tr = wr * at(a, row, hi)[0] - wi * at(a, row, hi)[1];
+            double ti = wr * at(a, row, hi)[1] + wi * at(a, row, hi)[0];
+            double rlo = at(a, row, lo)[0], ilo = at(a, row, lo)[1];
+            at(a, row, lo)[0] = rlo + tr;
+            at(a, row, lo)[1] = ilo + ti;
+            at(a, row, hi)[0] = rlo - tr;
+            at(a, row, hi)[1] = ilo - ti;
+          }
+        }
+      }
+    };
+    auto transp = [&](std::vector<double>& src, std::vector<double>& dst) {
+      for (int r = 0; r < m_; ++r) {
+        for (int c = 0; c < m_; ++c) {
+          dst[2 * (static_cast<std::size_t>(r) * m_ + c)] =
+              src[2 * (static_cast<std::size_t>(c) * m_ + r)];
+          dst[2 * (static_cast<std::size_t>(r) * m_ + c) + 1] =
+              src[2 * (static_cast<std::size_t>(c) * m_ + r) + 1];
+        }
+      }
+    };
+    std::vector<double> tmp(ref_.size());
+    transp(ref_, tmp);
+    for (int r = 0; r < m_; ++r) rfft(tmp, r);
+    for (int r = 0; r < m_; ++r) {
+      for (int c = 0; c < m_; ++c) {
+        double ang =
+            -2.0 * std::numbers::pi * (static_cast<double>(r) * c) / n_;
+        double wr = std::cos(ang), wi = std::sin(ang);
+        double re = tmp[2 * (static_cast<std::size_t>(r) * m_ + c)];
+        double im = tmp[2 * (static_cast<std::size_t>(r) * m_ + c) + 1];
+        tmp[2 * (static_cast<std::size_t>(r) * m_ + c)] = re * wr - im * wi;
+        tmp[2 * (static_cast<std::size_t>(r) * m_ + c) + 1] =
+            re * wi + im * wr;
+      }
+    }
+    transp(tmp, ref_);
+    std::vector<double> out(ref_.size());
+    for (int r = 0; r < m_; ++r) rfft(ref_, r);
+    transp(ref_, out);
+    ref_ = std::move(out);
+  }
+
+  std::uint64_t seed_;
+  int m_;  // matrix side; N = m*m points
+  int n_;
+  int logm_;
+  int threads_ = 1;
+  SharedArray<double> data_;
+  SharedArray<double> scratch_;
+  std::vector<double> ref_;
+  core::Barrier* barrier_ = nullptr;
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_fft(const WorkloadParams& p) {
+  return std::make_unique<Fft>(p);
+}
+
+}  // namespace netcache::apps

@@ -1,0 +1,100 @@
+// Gauss: unblocked Gaussian elimination without pivoting or back-
+// substitution (paper Table 4: 256x256 floats; locally-developed).
+// The pivot row is read by every node each step -> the paper's prime
+// example of High-reuse behaviour in the shared cache.
+#include <cmath>
+#include <vector>
+
+#include "src/apps/workload.hpp"
+#include "src/common/rng.hpp"
+
+namespace netcache::apps {
+
+namespace {
+
+class Gauss final : public Workload {
+ public:
+  explicit Gauss(const WorkloadParams& p) : seed_(p.seed) {
+    n_ = p.paper_size
+             ? 256
+             : std::max(48, static_cast<int>(256 * std::cbrt(p.scale)));
+  }
+
+  const char* name() const override { return "gauss"; }
+
+  void setup(core::Machine& machine) override {
+    threads_ = machine.nodes();
+    a_.allocate(machine, static_cast<std::size_t>(n_) * n_);
+    Rng rng(seed_);
+    for (int i = 0; i < n_; ++i) {
+      for (int j = 0; j < n_; ++j) {
+        // Diagonally dominant to keep the elimination well-conditioned.
+        float v = static_cast<float>(rng.next_double());
+        a_.raw(idx(i, j)) = (i == j) ? v + static_cast<float>(n_) : v;
+      }
+    }
+    reference_ = a_.raw_data();
+    reference_solve();
+    barrier_ = &machine.make_barrier(threads_);
+  }
+
+  sim::Task<void> run(core::Cpu& cpu, int tid) override {
+    for (int k = 0; k < n_ - 1; ++k) {
+      // Rows below the pivot, dealt out round-robin for balance.
+      float akk = co_await a_.rd(cpu, idx(k, k));
+      for (int i = k + 1; i < n_; ++i) {
+        if (i % threads_ != tid) continue;
+        float aik = co_await a_.rd(cpu, idx(i, k));
+        float factor = aik / akk;
+        co_await a_.wr(cpu, idx(i, k), factor);
+        for (int j = k + 1; j < n_; ++j) {
+          float akj = co_await a_.rd(cpu, idx(k, j));
+          float aij = co_await a_.rd(cpu, idx(i, j));
+          co_await a_.wr(cpu, idx(i, j), aij - factor * akj);
+        }
+        co_await cpu.compute(6 * (n_ - k));
+      }
+      co_await barrier_->wait(cpu);
+    }
+  }
+
+  bool verify() override {
+    for (std::size_t i = 0; i < a_.size(); ++i) {
+      if (a_.raw(i) != reference_[i]) return false;
+    }
+    return true;
+  }
+
+ private:
+  std::size_t idx(int i, int j) const {
+    return static_cast<std::size_t>(i) * static_cast<std::size_t>(n_) +
+           static_cast<std::size_t>(j);
+  }
+
+  void reference_solve() {
+    for (int k = 0; k < n_ - 1; ++k) {
+      for (int i = k + 1; i < n_; ++i) {
+        float factor = reference_[idx(i, k)] / reference_[idx(k, k)];
+        reference_[idx(i, k)] = factor;
+        for (int j = k + 1; j < n_; ++j) {
+          reference_[idx(i, j)] -= factor * reference_[idx(k, j)];
+        }
+      }
+    }
+  }
+
+  std::uint64_t seed_;
+  int n_;
+  int threads_ = 1;
+  SharedArray<float> a_;
+  std::vector<float> reference_;
+  core::Barrier* barrier_ = nullptr;
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_gauss(const WorkloadParams& p) {
+  return std::make_unique<Gauss>(p);
+}
+
+}  // namespace netcache::apps

@@ -1,0 +1,314 @@
+// Mg: 3D Poisson solver with a multigrid V-cycle (NAS MG style; paper
+// Table 4: 24x24x64 floats, 6 iterations). Weighted-Jacobi smoothing,
+// injection restriction and prolongation, 7-point stencil, partitioned by
+// x-planes with a barrier per sweep.
+#include <cmath>
+#include <vector>
+
+#include "src/apps/workload.hpp"
+#include "src/common/rng.hpp"
+
+namespace netcache::apps {
+
+namespace {
+
+constexpr double kOmega = 0.8;  // Jacobi damping
+
+class Mg final : public Workload {
+ public:
+  explicit Mg(const WorkloadParams& p) : seed_(p.seed) {
+    if (p.paper_size) {
+      nx_ = 24;
+      ny_ = 24;
+      nz_ = 64;
+      cycles_ = 6;
+    } else {
+      int s = static_cast<int>(std::max(1.0, std::cbrt(p.scale)));
+      nx_ = 16 * s;
+      ny_ = 16 * s;
+      nz_ = 32 * s;
+      cycles_ = 4;
+    }
+  }
+
+  const char* name() const override { return "mg"; }
+
+  void setup(core::Machine& machine) override {
+    threads_ = machine.nodes();
+    int nx = nx_, ny = ny_, nz = nz_;
+    while (nx >= 4 && ny >= 4 && nz >= 4 &&
+           nx % 2 == 0 && ny % 2 == 0 && nz % 2 == 0 &&
+           levels_.size() < 3) {
+      levels_.push_back(Level{});
+      Level& l = levels_.back();
+      l.nx = nx;
+      l.ny = ny;
+      l.nz = nz;
+      std::size_t cells = static_cast<std::size_t>(nx) * ny * nz;
+      l.u.allocate(machine, cells);
+      l.tmp.allocate(machine, cells);
+      l.rhs.allocate(machine, cells);
+      l.res.allocate(machine, cells);
+      nx /= 2;
+      ny /= 2;
+      nz /= 2;
+    }
+    Rng rng(seed_);
+    Level& top = levels_.front();
+    for (std::size_t i = 0;
+         i < static_cast<std::size_t>(top.nx) * top.ny * top.nz; ++i) {
+      top.rhs.raw(i) = rng.next_double() - 0.5;
+    }
+    reference_solve();
+    barrier_ = &machine.make_barrier(threads_);
+  }
+
+  sim::Task<void> run(core::Cpu& cpu, int tid) override {
+    for (int c = 0; c < cycles_; ++c) {
+      // Down-sweep.
+      for (std::size_t l = 0; l < levels_.size(); ++l) {
+        co_await smooth(cpu, tid, l, 2);
+        if (l + 1 < levels_.size()) {
+          co_await residual(cpu, tid, l);
+          co_await restrict_to(cpu, tid, l);
+        }
+      }
+      // Up-sweep.
+      for (std::size_t l = levels_.size() - 1; l > 0; --l) {
+        co_await prolong(cpu, tid, l);
+        co_await smooth(cpu, tid, l - 1, 2);
+      }
+    }
+  }
+
+  bool verify() override {
+    Level& top = levels_.front();
+    std::size_t cells = static_cast<std::size_t>(top.nx) * top.ny * top.nz;
+    for (std::size_t i = 0; i < cells; ++i) {
+      if (top.u.raw(i) != ref_u_[i]) return false;
+    }
+    return true;
+  }
+
+ private:
+  struct Level {
+    int nx, ny, nz;
+    SharedArray<double> u, tmp, rhs, res;
+  };
+
+  static std::size_t idx(const Level& l, int i, int j, int k) {
+    return (static_cast<std::size_t>(i) * l.ny + j) * l.nz + k;
+  }
+
+  /// One weighted-Jacobi sweep from `src` into `dst` over the node's planes.
+  sim::Task<void> jacobi_sweep(core::Cpu& cpu, int tid, Level& l,
+                               SharedArray<double>& src,
+                               SharedArray<double>& dst) {
+    Range planes = partition(static_cast<std::size_t>(l.nx), tid, threads_);
+    for (std::size_t ip = planes.begin; ip < planes.end; ++ip) {
+      int i = static_cast<int>(ip);
+      for (int j = 0; j < l.ny; ++j) {
+        for (int k = 0; k < l.nz; ++k) {
+          double c = co_await src.rd(cpu, idx(l, i, j, k));
+          double nsum = 0.0;
+          if (i > 0) nsum += co_await src.rd(cpu, idx(l, i - 1, j, k));
+          if (i < l.nx - 1) nsum += co_await src.rd(cpu, idx(l, i + 1, j, k));
+          if (j > 0) nsum += co_await src.rd(cpu, idx(l, i, j - 1, k));
+          if (j < l.ny - 1) nsum += co_await src.rd(cpu, idx(l, i, j + 1, k));
+          if (k > 0) nsum += co_await src.rd(cpu, idx(l, i, j, k - 1));
+          if (k < l.nz - 1) nsum += co_await src.rd(cpu, idx(l, i, j, k + 1));
+          double f = co_await l.rhs.rd(cpu, idx(l, i, j, k));
+          double jac = (nsum + f) / 6.0;
+          co_await dst.wr(cpu, idx(l, i, j, k),
+                          c + kOmega * (jac - c));
+          co_await cpu.compute(12);
+        }
+      }
+    }
+    co_await barrier_->wait(cpu);
+  }
+
+  sim::Task<void> smooth(core::Cpu& cpu, int tid, std::size_t level,
+                         int sweeps) {
+    Level& l = levels_[level];
+    for (int s = 0; s < sweeps; s += 2) {
+      co_await jacobi_sweep(cpu, tid, l, l.u, l.tmp);
+      co_await jacobi_sweep(cpu, tid, l, l.tmp, l.u);
+    }
+  }
+
+  sim::Task<void> residual(core::Cpu& cpu, int tid, std::size_t level) {
+    Level& l = levels_[level];
+    Range planes = partition(static_cast<std::size_t>(l.nx), tid, threads_);
+    for (std::size_t ip = planes.begin; ip < planes.end; ++ip) {
+      int i = static_cast<int>(ip);
+      for (int j = 0; j < l.ny; ++j) {
+        for (int k = 0; k < l.nz; ++k) {
+          double c = co_await l.u.rd(cpu, idx(l, i, j, k));
+          double nsum = 0.0;
+          if (i > 0) nsum += co_await l.u.rd(cpu, idx(l, i - 1, j, k));
+          if (i < l.nx - 1) nsum += co_await l.u.rd(cpu, idx(l, i + 1, j, k));
+          if (j > 0) nsum += co_await l.u.rd(cpu, idx(l, i, j - 1, k));
+          if (j < l.ny - 1) nsum += co_await l.u.rd(cpu, idx(l, i, j + 1, k));
+          if (k > 0) nsum += co_await l.u.rd(cpu, idx(l, i, j, k - 1));
+          if (k < l.nz - 1) nsum += co_await l.u.rd(cpu, idx(l, i, j, k + 1));
+          double f = co_await l.rhs.rd(cpu, idx(l, i, j, k));
+          co_await l.res.wr(cpu, idx(l, i, j, k), f - (6.0 * c - nsum));
+          co_await cpu.compute(9);
+        }
+      }
+    }
+    co_await barrier_->wait(cpu);
+  }
+
+  sim::Task<void> restrict_to(core::Cpu& cpu, int tid, std::size_t level) {
+    Level& fine = levels_[level];
+    Level& coarse = levels_[level + 1];
+    Range planes =
+        partition(static_cast<std::size_t>(coarse.nx), tid, threads_);
+    for (std::size_t ip = planes.begin; ip < planes.end; ++ip) {
+      int i = static_cast<int>(ip);
+      for (int j = 0; j < coarse.ny; ++j) {
+        for (int k = 0; k < coarse.nz; ++k) {
+          double r =
+              co_await fine.res.rd(cpu, idx(fine, 2 * i, 2 * j, 2 * k));
+          co_await coarse.rhs.wr(cpu, idx(coarse, i, j, k), 4.0 * r);
+          co_await coarse.u.wr(cpu, idx(coarse, i, j, k), 0.0);
+          co_await cpu.compute(2);
+        }
+      }
+    }
+    co_await barrier_->wait(cpu);
+  }
+
+  sim::Task<void> prolong(core::Cpu& cpu, int tid, std::size_t level) {
+    Level& coarse = levels_[level];
+    Level& fine = levels_[level - 1];
+    Range planes = partition(static_cast<std::size_t>(fine.nx), tid, threads_);
+    for (std::size_t ip = planes.begin; ip < planes.end; ++ip) {
+      int i = static_cast<int>(ip);
+      for (int j = 0; j < fine.ny; ++j) {
+        for (int k = 0; k < fine.nz; ++k) {
+          double e =
+              co_await coarse.u.rd(cpu, idx(coarse, i / 2, j / 2, k / 2));
+          double v = co_await fine.u.rd(cpu, idx(fine, i, j, k));
+          co_await fine.u.wr(cpu, idx(fine, i, j, k), v + 0.25 * e);
+          co_await cpu.compute(2);
+        }
+      }
+    }
+    co_await barrier_->wait(cpu);
+  }
+
+  // ---- sequential mirror for verification ----
+  void reference_solve() {
+    struct RLevel {
+      int nx, ny, nz;
+      std::vector<double> u, tmp, rhs, res;
+    };
+    std::vector<RLevel> ls;
+    for (Level& l : levels_) {
+      RLevel r;
+      r.nx = l.nx;
+      r.ny = l.ny;
+      r.nz = l.nz;
+      std::size_t cells = static_cast<std::size_t>(l.nx) * l.ny * l.nz;
+      r.u.assign(cells, 0.0);
+      r.tmp.assign(cells, 0.0);
+      r.res.assign(cells, 0.0);
+      r.rhs.assign(cells, 0.0);
+      ls.push_back(std::move(r));
+    }
+    for (std::size_t i = 0; i < ls[0].rhs.size(); ++i) {
+      ls[0].rhs[i] = levels_[0].rhs.raw(i);
+    }
+    auto ridx = [](const RLevel& l, int i, int j, int k) {
+      return (static_cast<std::size_t>(i) * l.ny + j) * l.nz + k;
+    };
+    auto sweep = [&](RLevel& l, std::vector<double>& src,
+                     std::vector<double>& dst) {
+      for (int i = 0; i < l.nx; ++i) {
+        for (int j = 0; j < l.ny; ++j) {
+          for (int k = 0; k < l.nz; ++k) {
+            double c = src[ridx(l, i, j, k)];
+            double nsum = 0.0;
+            if (i > 0) nsum += src[ridx(l, i - 1, j, k)];
+            if (i < l.nx - 1) nsum += src[ridx(l, i + 1, j, k)];
+            if (j > 0) nsum += src[ridx(l, i, j - 1, k)];
+            if (j < l.ny - 1) nsum += src[ridx(l, i, j + 1, k)];
+            if (k > 0) nsum += src[ridx(l, i, j, k - 1)];
+            if (k < l.nz - 1) nsum += src[ridx(l, i, j, k + 1)];
+            double jac = (nsum + l.rhs[ridx(l, i, j, k)]) / 6.0;
+            dst[ridx(l, i, j, k)] = c + kOmega * (jac - c);
+          }
+        }
+      }
+    };
+    for (int c = 0; c < cycles_; ++c) {
+      for (std::size_t lv = 0; lv < ls.size(); ++lv) {
+        RLevel& l = ls[lv];
+        sweep(l, l.u, l.tmp);
+        sweep(l, l.tmp, l.u);
+        if (lv + 1 < ls.size()) {
+          for (int i = 0; i < l.nx; ++i) {
+            for (int j = 0; j < l.ny; ++j) {
+              for (int k = 0; k < l.nz; ++k) {
+                double cc = l.u[ridx(l, i, j, k)];
+                double nsum = 0.0;
+                if (i > 0) nsum += l.u[ridx(l, i - 1, j, k)];
+                if (i < l.nx - 1) nsum += l.u[ridx(l, i + 1, j, k)];
+                if (j > 0) nsum += l.u[ridx(l, i, j - 1, k)];
+                if (j < l.ny - 1) nsum += l.u[ridx(l, i, j + 1, k)];
+                if (k > 0) nsum += l.u[ridx(l, i, j, k - 1)];
+                if (k < l.nz - 1) nsum += l.u[ridx(l, i, j, k + 1)];
+                l.res[ridx(l, i, j, k)] =
+                    l.rhs[ridx(l, i, j, k)] - (6.0 * cc - nsum);
+              }
+            }
+          }
+          RLevel& co = ls[lv + 1];
+          for (int i = 0; i < co.nx; ++i) {
+            for (int j = 0; j < co.ny; ++j) {
+              for (int k = 0; k < co.nz; ++k) {
+                co.rhs[ridx(co, i, j, k)] =
+                    4.0 * l.res[ridx(l, 2 * i, 2 * j, 2 * k)];
+                co.u[ridx(co, i, j, k)] = 0.0;
+              }
+            }
+          }
+        }
+      }
+      for (std::size_t lv = ls.size() - 1; lv > 0; --lv) {
+        RLevel& co = ls[lv];
+        RLevel& fi = ls[lv - 1];
+        for (int i = 0; i < fi.nx; ++i) {
+          for (int j = 0; j < fi.ny; ++j) {
+            for (int k = 0; k < fi.nz; ++k) {
+              fi.u[ridx(fi, i, j, k)] +=
+                  0.25 * co.u[ridx(co, i / 2, j / 2, k / 2)];
+            }
+          }
+        }
+        sweep(fi, fi.u, fi.tmp);
+        sweep(fi, fi.tmp, fi.u);
+      }
+    }
+    ref_u_ = std::move(ls[0].u);
+  }
+
+  std::uint64_t seed_;
+  int nx_, ny_, nz_;
+  int cycles_;
+  int threads_ = 1;
+  std::vector<Level> levels_;
+  std::vector<double> ref_u_;
+  core::Barrier* barrier_ = nullptr;
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_mg(const WorkloadParams& p) {
+  return std::make_unique<Mg>(p);
+}
+
+}  // namespace netcache::apps

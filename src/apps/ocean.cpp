@@ -1,0 +1,175 @@
+// Ocean: large-scale ocean movement simulation (SPLASH-2; paper Table 4:
+// 66x66 grid). Modeled after the application's core: red-black Gauss-Seidel
+// relaxation of the stream function coupled with a vorticity update and a
+// residual reduction every time step.
+#include <cmath>
+#include <vector>
+
+#include "src/apps/workload.hpp"
+#include "src/common/rng.hpp"
+
+namespace netcache::apps {
+
+namespace {
+
+class Ocean final : public Workload {
+ public:
+  explicit Ocean(const WorkloadParams& p) : seed_(p.seed) {
+    // The paper's Ocean (full SPLASH-2) keeps ~25 grids of 66x66; this
+    // two-grid core uses a larger grid for equivalent cache pressure.
+    n_ = p.paper_size
+             ? 114
+             : std::max(34, static_cast<int>(114 * std::sqrt(p.scale)));
+    steps_ = 12;
+    relax_sweeps_ = 2;
+  }
+
+  const char* name() const override { return "ocean"; }
+
+  void setup(core::Machine& machine) override {
+    threads_ = machine.nodes();
+    std::size_t cells = static_cast<std::size_t>(n_) * n_;
+    psi_.allocate(machine, cells);
+    vort_.allocate(machine, cells);
+    partials_.allocate(machine, static_cast<std::size_t>(threads_));
+    Rng rng(seed_);
+    for (std::size_t i = 0; i < cells; ++i) {
+      psi_.raw(i) = rng.next_double() - 0.5;
+      vort_.raw(i) = rng.next_double() - 0.5;
+    }
+    reference_solve();
+    barrier_ = &machine.make_barrier(threads_);
+  }
+
+  sim::Task<void> run(core::Cpu& cpu, int tid) override {
+    Range rows = partition(static_cast<std::size_t>(n_ - 2), tid, threads_);
+    for (int step = 0; step < steps_; ++step) {
+      // 1. Vorticity update from the stream function (5-point curl-ish).
+      for (std::size_t r = rows.begin; r < rows.end; ++r) {
+        int i = static_cast<int>(r) + 1;
+        for (int j = 1; j < n_ - 1; ++j) {
+          double up = co_await psi_.rd(cpu, idx(i - 1, j));
+          double dn = co_await psi_.rd(cpu, idx(i + 1, j));
+          double lf = co_await psi_.rd(cpu, idx(i, j - 1));
+          double rt = co_await psi_.rd(cpu, idx(i, j + 1));
+          double w = co_await vort_.rd(cpu, idx(i, j));
+          co_await vort_.wr(cpu, idx(i, j),
+                            0.98 * w + 0.02 * (up + dn + lf + rt) * 0.25);
+          co_await cpu.compute(9);
+        }
+      }
+      co_await barrier_->wait(cpu);
+
+      // 2. Red-black relaxation of psi driven by the vorticity.
+      for (int sweep = 0; sweep < relax_sweeps_; ++sweep) {
+        for (int color = 0; color < 2; ++color) {
+          for (std::size_t r = rows.begin; r < rows.end; ++r) {
+            int i = static_cast<int>(r) + 1;
+            for (int j = 1 + ((i + 1 + color) % 2); j < n_ - 1; j += 2) {
+              double up = co_await psi_.rd(cpu, idx(i - 1, j));
+              double dn = co_await psi_.rd(cpu, idx(i + 1, j));
+              double lf = co_await psi_.rd(cpu, idx(i, j - 1));
+              double rt = co_await psi_.rd(cpu, idx(i, j + 1));
+              double w = co_await vort_.rd(cpu, idx(i, j));
+              co_await psi_.wr(cpu, idx(i, j),
+                               0.25 * (up + dn + lf + rt - w));
+              co_await cpu.compute(8);
+            }
+          }
+          co_await barrier_->wait(cpu);
+        }
+      }
+
+      // 3. Residual reduction (max |psi|) through shared partials.
+      double local_max = 0.0;
+      for (std::size_t r = rows.begin; r < rows.end; ++r) {
+        int i = static_cast<int>(r) + 1;
+        for (int j = 1; j < n_ - 1; ++j) {
+          double v = co_await psi_.rd(cpu, idx(i, j));
+          local_max = std::max(local_max, std::abs(v));
+          co_await cpu.compute(1);
+        }
+      }
+      co_await partials_.wr(cpu, static_cast<std::size_t>(tid), local_max);
+      co_await barrier_->wait(cpu);
+      double global = 0.0;
+      for (int t = 0; t < threads_; ++t) {
+        global = std::max(
+            global, co_await partials_.rd(cpu, static_cast<std::size_t>(t)));
+      }
+      residual_ = global;
+      co_await barrier_->wait(cpu);
+    }
+  }
+
+  bool verify() override {
+    std::size_t cells = static_cast<std::size_t>(n_) * n_;
+    for (std::size_t i = 0; i < cells; ++i) {
+      if (psi_.raw(i) != ref_psi_[i] || vort_.raw(i) != ref_vort_[i]) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  std::size_t idx(int i, int j) const {
+    return static_cast<std::size_t>(i) * static_cast<std::size_t>(n_) +
+           static_cast<std::size_t>(j);
+  }
+
+  void reference_solve() {
+    std::size_t cells = static_cast<std::size_t>(n_) * n_;
+    ref_psi_.assign(cells, 0.0);
+    ref_vort_.assign(cells, 0.0);
+    for (std::size_t i = 0; i < cells; ++i) {
+      ref_psi_[i] = psi_.raw(i);
+      ref_vort_[i] = vort_.raw(i);
+    }
+    auto at = [&](std::vector<double>& a, int i, int j) -> double& {
+      return a[idx(i, j)];
+    };
+    for (int step = 0; step < steps_; ++step) {
+      for (int i = 1; i < n_ - 1; ++i) {
+        for (int j = 1; j < n_ - 1; ++j) {
+          at(ref_vort_, i, j) =
+              0.98 * at(ref_vort_, i, j) +
+              0.02 * (at(ref_psi_, i - 1, j) + at(ref_psi_, i + 1, j) +
+                      at(ref_psi_, i, j - 1) + at(ref_psi_, i, j + 1)) *
+                  0.25;
+        }
+      }
+      for (int sweep = 0; sweep < relax_sweeps_; ++sweep) {
+        for (int color = 0; color < 2; ++color) {
+          for (int i = 1; i < n_ - 1; ++i) {
+            for (int j = 1 + ((i + 1 + color) % 2); j < n_ - 1; j += 2) {
+              at(ref_psi_, i, j) =
+                  0.25 * (at(ref_psi_, i - 1, j) + at(ref_psi_, i + 1, j) +
+                          at(ref_psi_, i, j - 1) + at(ref_psi_, i, j + 1) -
+                          at(ref_vort_, i, j));
+            }
+          }
+        }
+      }
+    }
+  }
+
+  std::uint64_t seed_;
+  int n_;
+  int steps_;
+  int relax_sweeps_;
+  int threads_ = 1;
+  SharedArray<double> psi_, vort_;
+  SharedArray<double> partials_;
+  std::vector<double> ref_psi_, ref_vort_;
+  double residual_ = 0.0;
+  core::Barrier* barrier_ = nullptr;
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_ocean(const WorkloadParams& p) {
+  return std::make_unique<Ocean>(p);
+}
+
+}  // namespace netcache::apps

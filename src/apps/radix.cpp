@@ -1,0 +1,173 @@
+// Radix: parallel integer radix sort, SPLASH-2 style (paper Table 4: 512 K
+// keys, radix 1024). Local histograms in private memory, a shared rank
+// table, and a scattered permutation phase — the paper's canonical
+// Low-reuse application.
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "src/apps/workload.hpp"
+#include "src/common/rng.hpp"
+
+namespace netcache::apps {
+
+namespace {
+
+class RadixSort final : public Workload {
+ public:
+  explicit RadixSort(const WorkloadParams& p) : seed_(p.seed) {
+    keys_n_ = p.paper_size
+                  ? 512 * 1024
+                  : std::max(16384, static_cast<int>(131072 * p.scale));
+    radix_bits_ = 10;  // radix 1024
+    radix_ = 1 << radix_bits_;
+    key_bits_ = 20;
+    passes_ = key_bits_ / radix_bits_;
+  }
+
+  const char* name() const override { return "radix"; }
+
+  void setup(core::Machine& machine) override {
+    threads_ = machine.nodes();
+    keys_[0].allocate(machine, static_cast<std::size_t>(keys_n_));
+    keys_[1].allocate(machine, static_cast<std::size_t>(keys_n_));
+    hist_.allocate(machine,
+                   static_cast<std::size_t>(threads_) * radix_);
+    digit_start_.allocate(machine, static_cast<std::size_t>(radix_));
+    rank_.allocate(machine, static_cast<std::size_t>(threads_) * radix_);
+    local_hist_.resize(static_cast<std::size_t>(threads_));
+    for (int t = 0; t < threads_; ++t) {
+      local_hist_[static_cast<std::size_t>(t)].allocate(
+          machine, t, static_cast<std::size_t>(radix_));
+    }
+    Rng rng(seed_);
+    input_checksum_ = 0;
+    for (int i = 0; i < keys_n_; ++i) {
+      std::uint32_t k = rng.next_below(1u << key_bits_);
+      keys_[0].raw(static_cast<std::size_t>(i)) = k;
+      input_checksum_ += k;
+    }
+    barrier_ = &machine.make_barrier(threads_);
+  }
+
+  sim::Task<void> run(core::Cpu& cpu, int tid) override {
+    Range mine = partition(static_cast<std::size_t>(keys_n_), tid, threads_);
+    Range my_digits = partition(static_cast<std::size_t>(radix_), tid,
+                                threads_);
+    auto& local = local_hist_[static_cast<std::size_t>(tid)];
+
+    for (int pass = 0; pass < passes_; ++pass) {
+      auto& src = keys_[pass % 2];
+      auto& dst = keys_[(pass + 1) % 2];
+      int shift = pass * radix_bits_;
+
+      // 1. Local histogram over this node's chunk.
+      for (int d = 0; d < radix_; ++d) {
+        co_await local.wr(cpu, static_cast<std::size_t>(d), 0);
+      }
+      for (std::size_t i = mine.begin; i < mine.end; ++i) {
+        std::uint32_t key = co_await src.rd(cpu, i);
+        std::size_t d = (key >> shift) & static_cast<std::uint32_t>(radix_ - 1);
+        std::int32_t c = co_await local.rd(cpu, d);
+        co_await local.wr(cpu, d, c + 1);
+        co_await cpu.compute(4);
+      }
+      // Publish into the shared per-thread histogram.
+      for (int d = 0; d < radix_; ++d) {
+        std::int32_t c = co_await local.rd(cpu, static_cast<std::size_t>(d));
+        co_await hist_.wr(cpu, hidx(tid, d), c);
+      }
+      co_await barrier_->wait(cpu);
+
+      // 2a. Digit owners compute per-digit totals into digit_start_.
+      for (std::size_t d = my_digits.begin; d < my_digits.end; ++d) {
+        std::int32_t total = 0;
+        for (int t = 0; t < threads_; ++t) {
+          total += co_await hist_.rd(cpu, hidx(t, static_cast<int>(d)));
+        }
+        co_await digit_start_.wr(cpu, d, total);
+      }
+      co_await barrier_->wait(cpu);
+
+      // 2b. Sequential prefix over digits (node 0), as in SPLASH-2's final
+      // combine step.
+      if (tid == 0) {
+        std::int32_t running = 0;
+        for (int d = 0; d < radix_; ++d) {
+          std::int32_t total =
+              co_await digit_start_.rd(cpu, static_cast<std::size_t>(d));
+          co_await digit_start_.wr(cpu, static_cast<std::size_t>(d), running);
+          running += total;
+        }
+      }
+      co_await barrier_->wait(cpu);
+
+      // 2c. Digit owners fan the digit start out into per-thread ranks.
+      for (std::size_t d = my_digits.begin; d < my_digits.end; ++d) {
+        std::int32_t running = co_await digit_start_.rd(cpu, d);
+        for (int t = 0; t < threads_; ++t) {
+          co_await rank_.wr(cpu, hidx(t, static_cast<int>(d)), running);
+          running += co_await hist_.rd(cpu, hidx(t, static_cast<int>(d)));
+        }
+      }
+      co_await barrier_->wait(cpu);
+
+      // 3. Permutation: scattered writes into the destination array.
+      for (int d = 0; d < radix_; ++d) {
+        co_await local.wr(cpu, static_cast<std::size_t>(d), 0);
+      }
+      for (std::size_t i = mine.begin; i < mine.end; ++i) {
+        std::uint32_t key = co_await src.rd(cpu, i);
+        std::size_t d = (key >> shift) & static_cast<std::uint32_t>(radix_ - 1);
+        std::int32_t offset = co_await local.rd(cpu, d);
+        co_await local.wr(cpu, d, offset + 1);
+        std::int32_t base = co_await rank_.rd(cpu, hidx(tid, static_cast<int>(d)));
+        co_await dst.wr(cpu, static_cast<std::size_t>(base + offset), key);
+        co_await cpu.compute(5);
+      }
+      co_await barrier_->wait(cpu);
+    }
+  }
+
+  bool verify() override {
+    auto& result = keys_[passes_ % 2];
+    std::uint64_t checksum = 0;
+    for (int i = 0; i < keys_n_; ++i) {
+      std::uint32_t k = result.raw(static_cast<std::size_t>(i));
+      checksum += k;
+      if (i > 0 && k < result.raw(static_cast<std::size_t>(i - 1))) {
+        return false;
+      }
+    }
+    return checksum == input_checksum_;
+  }
+
+ private:
+  std::size_t hidx(int t, int d) const {
+    return static_cast<std::size_t>(t) * static_cast<std::size_t>(radix_) +
+           static_cast<std::size_t>(d);
+  }
+
+  std::uint64_t seed_;
+  int keys_n_;
+  int radix_bits_;
+  int radix_;
+  int key_bits_;
+  int passes_;
+  int threads_ = 1;
+  SharedArray<std::uint32_t> keys_[2];
+  SharedArray<std::int32_t> hist_;
+  SharedArray<std::int32_t> digit_start_;
+  SharedArray<std::int32_t> rank_;
+  std::vector<PrivateArray<std::int32_t>> local_hist_;
+  std::uint64_t input_checksum_ = 0;
+  core::Barrier* barrier_ = nullptr;
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_radix(const WorkloadParams& p) {
+  return std::make_unique<RadixSort>(p);
+}
+
+}  // namespace netcache::apps

@@ -1,0 +1,242 @@
+// Raytrace: parallel ray caster over a shared scene with a lock-protected
+// work queue of pixel chunks (SPLASH-2 raytrace; the paper renders "teapot",
+// here a procedural sphere field — only the memory access pattern matters).
+// A screen-space bucket grid holds per-bucket candidate sphere lists, so a
+// ray touches only nearby spheres; scene + lists exceed the L2 the way the
+// teapot's geometry did.
+#include <cmath>
+#include <vector>
+
+#include "src/apps/workload.hpp"
+#include "src/common/rng.hpp"
+
+namespace netcache::apps {
+
+namespace {
+
+class Raytrace final : public Workload {
+ public:
+  explicit Raytrace(const WorkloadParams& p) : seed_(p.seed) {
+    if (p.paper_size) {
+      width_ = 128;
+      height_ = 128;
+      spheres_n_ = 512;
+    } else {
+      width_ = std::max(32, static_cast<int>(64 * std::sqrt(p.scale)));
+      height_ = width_;
+      spheres_n_ = 1536;
+    }
+    buckets_ = 24;  // buckets_ x buckets_ screen-space grid
+    chunk_ = 16;
+  }
+
+  const char* name() const override { return "raytrace"; }
+
+  void setup(core::Machine& machine) override {
+    threads_ = machine.nodes();
+    // Scene: one 128-byte record per sphere (center, radius, shade, and
+    // reserved material fields), like a real renderer's primitive record.
+    scene_.allocate(machine, static_cast<std::size_t>(spheres_n_) * kRec);
+    image_.allocate(machine, static_cast<std::size_t>(width_) * height_);
+    queue_.allocate(machine, 1);
+    Rng rng(seed_);
+    for (int s = 0; s < spheres_n_; ++s) {
+      scene_.raw(kRec * static_cast<std::size_t>(s) + 0) =
+          (rng.next_double() - 0.5) * 8.0;
+      scene_.raw(kRec * static_cast<std::size_t>(s) + 1) =
+          (rng.next_double() - 0.5) * 8.0;
+      scene_.raw(kRec * static_cast<std::size_t>(s) + 2) =
+          4.0 + rng.next_double() * 10.0;
+      scene_.raw(kRec * static_cast<std::size_t>(s) + 3) =
+          0.2 + rng.next_double() * 0.5;
+      scene_.raw(kRec * static_cast<std::size_t>(s) + 4) =
+          0.2 + rng.next_double() * 0.8;
+    }
+    build_buckets(machine);
+    reference_render();
+    lock_ = &machine.make_lock();
+  }
+
+  sim::Task<void> run(core::Cpu& cpu, int tid) override {
+    (void)tid;
+    const int total = width_ * height_;
+    for (;;) {
+      co_await lock_->acquire(cpu);
+      int start = static_cast<int>(co_await queue_.rd(cpu, 0));
+      if (start < total) {
+        co_await queue_.wr(cpu, 0, start + chunk_);
+      }
+      co_await lock_->release(cpu);
+      if (start >= total) break;
+
+      int end = std::min(total, start + chunk_);
+      for (int p = start; p < end; ++p) {
+        int px = p % width_;
+        int py = p / width_;
+        double shade = co_await trace(cpu, px, py);
+        co_await image_.wr(cpu, static_cast<std::size_t>(p), shade);
+      }
+    }
+  }
+
+  bool verify() override {
+    std::size_t pixels = static_cast<std::size_t>(width_) * height_;
+    for (std::size_t i = 0; i < pixels; ++i) {
+      if (image_.raw(i) != ref_image_[i]) return false;
+    }
+    return true;
+  }
+
+ private:
+  void ray_dir(int px, int py, double& dx, double& dy, double& dz) const {
+    dx = (static_cast<double>(px) + 0.5) / width_ - 0.5;
+    dy = (static_cast<double>(py) + 0.5) / height_ - 0.5;
+    dz = 1.0;
+    double inv = 1.0 / std::sqrt(dx * dx + dy * dy + dz * dz);
+    dx *= inv;
+    dy *= inv;
+    dz *= inv;
+  }
+
+  int bucket_of(int px, int py) const {
+    int bx = px * buckets_ / width_;
+    int by = py * buckets_ / height_;
+    return by * buckets_ + bx;
+  }
+
+  /// Projects every sphere into the screen-space buckets it may cover and
+  /// stores the candidate lists in shared memory (CSR layout).
+  void build_buckets(core::Machine& machine) {
+    int nb = buckets_ * buckets_;
+    std::vector<std::vector<int>> lists(static_cast<std::size_t>(nb));
+    for (int s = 0; s < spheres_n_; ++s) {
+      double cx = scene_.raw(kRec * static_cast<std::size_t>(s));
+      double cy = scene_.raw(kRec * static_cast<std::size_t>(s) + 1);
+      double cz = scene_.raw(kRec * static_cast<std::size_t>(s) + 2);
+      double r = scene_.raw(kRec * static_cast<std::size_t>(s) + 3);
+      // Conservative screen-space bounding square of the sphere.
+      double u0 = (cx - r) / cz + 0.5, u1 = (cx + r) / cz + 0.5;
+      double v0 = (cy - r) / cz + 0.5, v1 = (cy + r) / cz + 0.5;
+      int b0 = std::max(0, static_cast<int>(u0 * buckets_) - 1);
+      int b1 = std::min(buckets_ - 1, static_cast<int>(u1 * buckets_) + 1);
+      int c0 = std::max(0, static_cast<int>(v0 * buckets_) - 1);
+      int c1 = std::min(buckets_ - 1, static_cast<int>(v1 * buckets_) + 1);
+      for (int by = c0; by <= c1; ++by) {
+        for (int bx = b0; bx <= b1; ++bx) {
+          lists[static_cast<std::size_t>(by * buckets_ + bx)].push_back(s);
+        }
+      }
+    }
+    bucket_ptr_.allocate(machine, static_cast<std::size_t>(nb) + 1);
+    std::size_t total = 0;
+    for (int b = 0; b < nb; ++b) {
+      bucket_ptr_.raw(static_cast<std::size_t>(b)) = static_cast<int>(total);
+      total += lists[static_cast<std::size_t>(b)].size();
+    }
+    bucket_ptr_.raw(static_cast<std::size_t>(nb)) = static_cast<int>(total);
+    bucket_list_.allocate(machine, std::max<std::size_t>(1, total));
+    std::size_t k = 0;
+    for (int b = 0; b < nb; ++b) {
+      for (int s : lists[static_cast<std::size_t>(b)]) {
+        bucket_list_.raw(k++) = s;
+      }
+    }
+  }
+
+  static double shade_hit(double dx, double dy, double dz, double nx,
+                          double ny, double nz, double base) {
+    double diff = -(dx * nx + dy * ny + dz * nz);
+    if (diff < 0.0) diff = 0.0;
+    return base * (0.2 + 0.8 * diff);
+  }
+
+  sim::Task<double> trace(core::Cpu& cpu, int px, int py) {
+    double dx, dy, dz;
+    ray_dir(px, py, dx, dy, dz);
+    int b = bucket_of(px, py);
+    int lo = co_await bucket_ptr_.rd(cpu, static_cast<std::size_t>(b));
+    int hi = co_await bucket_ptr_.rd(cpu, static_cast<std::size_t>(b) + 1);
+    double best_t = 1e30;
+    double result = 0.0;
+    for (int k = lo; k < hi; ++k) {
+      int s = co_await bucket_list_.rd(cpu, static_cast<std::size_t>(k));
+      double cx = co_await scene_.rd(cpu, kRec * static_cast<std::size_t>(s));
+      double cy = co_await scene_.rd(cpu, kRec * static_cast<std::size_t>(s) + 1);
+      double cz = co_await scene_.rd(cpu, kRec * static_cast<std::size_t>(s) + 2);
+      double r = co_await scene_.rd(cpu, kRec * static_cast<std::size_t>(s) + 3);
+      co_await cpu.compute(15);
+      double bq = dx * cx + dy * cy + dz * cz;
+      double cq = cx * cx + cy * cy + cz * cz - r * r;
+      double disc = bq * bq - cq;
+      if (disc < 0.0) continue;
+      double t = bq - std::sqrt(disc);
+      if (t <= 1e-9 || t >= best_t) continue;
+      double base =
+          co_await scene_.rd(cpu, kRec * static_cast<std::size_t>(s) + 4);
+      best_t = t;
+      double nx = (t * dx - cx) / r;
+      double ny = (t * dy - cy) / r;
+      double nz = (t * dz - cz) / r;
+      result = shade_hit(dx, dy, dz, nx, ny, nz, base);
+      co_await cpu.compute(20);
+    }
+    co_return result;
+  }
+
+  void reference_render() {
+    std::size_t pixels = static_cast<std::size_t>(width_) * height_;
+    ref_image_.assign(pixels, 0.0);
+    for (int p = 0; p < static_cast<int>(pixels); ++p) {
+      int px = p % width_;
+      int py = p / width_;
+      double dx, dy, dz;
+      ray_dir(px, py, dx, dy, dz);
+      int b = bucket_of(px, py);
+      int lo = bucket_ptr_.raw(static_cast<std::size_t>(b));
+      int hi = bucket_ptr_.raw(static_cast<std::size_t>(b) + 1);
+      double best_t = 1e30;
+      double result = 0.0;
+      for (int k = lo; k < hi; ++k) {
+        int s = bucket_list_.raw(static_cast<std::size_t>(k));
+        double cx = scene_.raw(kRec * static_cast<std::size_t>(s));
+        double cy = scene_.raw(kRec * static_cast<std::size_t>(s) + 1);
+        double cz = scene_.raw(kRec * static_cast<std::size_t>(s) + 2);
+        double r = scene_.raw(kRec * static_cast<std::size_t>(s) + 3);
+        double bq = dx * cx + dy * cy + dz * cz;
+        double cq = cx * cx + cy * cy + cz * cz - r * r;
+        double disc = bq * bq - cq;
+        if (disc < 0.0) continue;
+        double t = bq - std::sqrt(disc);
+        if (t <= 1e-9 || t >= best_t) continue;
+        double base = scene_.raw(kRec * static_cast<std::size_t>(s) + 4);
+        best_t = t;
+        double nx = (t * dx - cx) / r;
+        double ny = (t * dy - cy) / r;
+        double nz = (t * dz - cz) / r;
+        result = shade_hit(dx, dy, dz, nx, ny, nz, base);
+      }
+      ref_image_[static_cast<std::size_t>(p)] = result;
+    }
+  }
+
+  static constexpr std::size_t kRec = 16;  // doubles per sphere record
+
+  std::uint64_t seed_;
+  int width_, height_, spheres_n_, buckets_, chunk_;
+  int threads_ = 1;
+  SharedArray<double> scene_;
+  SharedArray<double> image_;
+  SharedArray<double> queue_;
+  SharedArray<int> bucket_ptr_;
+  SharedArray<int> bucket_list_;
+  std::vector<double> ref_image_;
+  core::Lock* lock_ = nullptr;
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_raytrace(const WorkloadParams& p) {
+  return std::make_unique<Raytrace>(p);
+}
+
+}  // namespace netcache::apps

@@ -1,0 +1,105 @@
+// SOR: red-black successive over-relaxation on a 2D grid (paper Table 4:
+// 256x256 floats, 100 iterations; locally-developed application).
+#include <cmath>
+#include <vector>
+
+#include "src/apps/workload.hpp"
+#include "src/common/rng.hpp"
+
+namespace netcache::apps {
+
+namespace {
+
+class Sor final : public Workload {
+ public:
+  explicit Sor(const WorkloadParams& p) : seed_(p.seed) {
+    if (p.paper_size) {
+      n_ = 256;
+      iters_ = 100;
+    } else {
+      n_ = std::max(64, static_cast<int>(256 * std::sqrt(p.scale)));
+      iters_ = 12;
+    }
+  }
+
+  const char* name() const override { return "sor"; }
+
+  void setup(core::Machine& machine) override {
+    threads_ = machine.nodes();
+    grid_.allocate(machine, static_cast<std::size_t>(n_) * n_);
+    Rng rng(seed_);
+    for (int i = 0; i < n_; ++i) {
+      for (int j = 0; j < n_; ++j) {
+        grid_.raw(idx(i, j)) = static_cast<float>(rng.next_double());
+      }
+    }
+    reference_ = grid_.raw_data();
+    reference_solve();
+    barrier_ = &machine.make_barrier(threads_);
+  }
+
+  sim::Task<void> run(core::Cpu& cpu, int tid) override {
+    // Interior rows [1, n-1) partitioned contiguously.
+    Range rows = partition(static_cast<std::size_t>(n_ - 2), tid, threads_);
+    for (int it = 0; it < iters_; ++it) {
+      for (int color = 0; color < 2; ++color) {
+        for (std::size_t r = rows.begin; r < rows.end; ++r) {
+          int i = static_cast<int>(r) + 1;
+          for (int j = 1 + ((i + 1 + color) % 2); j < n_ - 1; j += 2) {
+            float up = co_await grid_.rd(cpu, idx(i - 1, j));
+            float down = co_await grid_.rd(cpu, idx(i + 1, j));
+            float left = co_await grid_.rd(cpu, idx(i, j - 1));
+            float right = co_await grid_.rd(cpu, idx(i, j + 1));
+            co_await grid_.wr(cpu, idx(i, j),
+                              0.25f * (up + down + left + right));
+            co_await cpu.compute(8);
+          }
+        }
+        co_await barrier_->wait(cpu);
+      }
+    }
+  }
+
+  bool verify() override {
+    for (std::size_t i = 0; i < grid_.size(); ++i) {
+      if (grid_.raw(i) != reference_[i]) return false;
+    }
+    return true;
+  }
+
+ private:
+  std::size_t idx(int i, int j) const {
+    return static_cast<std::size_t>(i) * static_cast<std::size_t>(n_) +
+           static_cast<std::size_t>(j);
+  }
+
+  void reference_solve() {
+    for (int it = 0; it < iters_; ++it) {
+      for (int color = 0; color < 2; ++color) {
+        for (int i = 1; i < n_ - 1; ++i) {
+          for (int j = 1 + ((i + 1 + color) % 2); j < n_ - 1; j += 2) {
+            reference_[idx(i, j)] =
+                0.25f * (reference_[idx(i - 1, j)] + reference_[idx(i + 1, j)] +
+                         reference_[idx(i, j - 1)] + reference_[idx(i, j + 1)]);
+          }
+        }
+      }
+    }
+  }
+
+  std::uint64_t seed_;
+  int n_;
+  int iters_;
+  int threads_ = 1;
+  SharedArray<float> grid_;
+  std::vector<float> reference_;
+  core::Barrier* barrier_ = nullptr;
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_sor(const WorkloadParams& p) {
+  return std::make_unique<Sor>(p);
+}
+
+}  // namespace netcache::apps

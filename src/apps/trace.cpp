@@ -1,0 +1,166 @@
+#include "src/apps/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "src/common/nc_assert.hpp"
+
+namespace netcache::apps {
+
+TraceWorkload::TraceWorkload(std::vector<std::vector<TraceRecord>> streams)
+    : streams_(std::move(streams)) {
+  NC_ASSERT(!streams_.empty(), "trace needs at least one thread");
+  // Barrier counts must agree across threads or the replay deadlocks.
+  auto barriers = [](const std::vector<TraceRecord>& s) {
+    return std::count_if(s.begin(), s.end(), [](const TraceRecord& r) {
+      return r.op == TraceRecord::Op::kBarrier;
+    });
+  };
+  barrier_rounds_ = 0;
+  bool any = false;
+  for (const auto& s : streams_) {
+    expected_ += s.size();
+    if (s.empty()) continue;  // absent tids just attend the barriers
+    if (!any) {
+      barrier_rounds_ = barriers(s);
+      any = true;
+    } else {
+      NC_ASSERT(barriers(s) == barrier_rounds_,
+                "threads disagree on the number of barriers");
+    }
+  }
+}
+
+std::unique_ptr<TraceWorkload> TraceWorkload::from_string(
+    const std::string& text) {
+  std::vector<std::vector<TraceRecord>> streams;
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::istringstream ls(line);
+    std::string first;
+    if (!(ls >> first) || first[0] == '#') continue;
+    int tid = std::atoi(first.c_str());
+    NC_ASSERT(tid >= 0 && tid < 1024, "trace tid out of range");
+    if (streams.size() <= static_cast<std::size_t>(tid)) {
+      streams.resize(static_cast<std::size_t>(tid) + 1);
+    }
+    std::string op;
+    NC_ASSERT(static_cast<bool>(ls >> op), "trace line missing op");
+    TraceRecord rec{};
+    if (op == "r") {
+      rec.op = TraceRecord::Op::kRead;
+      NC_ASSERT(static_cast<bool>(ls >> rec.addr), "read needs an address");
+    } else if (op == "w") {
+      rec.op = TraceRecord::Op::kWrite;
+      NC_ASSERT(static_cast<bool>(ls >> rec.addr >> rec.arg),
+                "write needs address and bytes");
+    } else if (op == "c") {
+      rec.op = TraceRecord::Op::kCompute;
+      NC_ASSERT(static_cast<bool>(ls >> rec.arg), "compute needs cycles");
+    } else if (op == "b") {
+      rec.op = TraceRecord::Op::kBarrier;
+    } else {
+      NC_ASSERT(false, "unknown trace op");
+    }
+    streams[static_cast<std::size_t>(tid)].push_back(rec);
+  }
+  return std::make_unique<TraceWorkload>(std::move(streams));
+}
+
+std::unique_ptr<TraceWorkload> TraceWorkload::from_file(
+    const std::string& path) {
+  std::ifstream f(path);
+  NC_ASSERT(f.good(), "cannot open trace file");
+  std::stringstream buf;
+  buf << f.rdbuf();
+  return from_string(buf.str());
+}
+
+void TraceWorkload::setup(core::Machine& machine) {
+  machine_nodes_ = machine.nodes();
+  Addr max_addr = 0;
+  for (const auto& s : streams_) {
+    for (const TraceRecord& r : s) {
+      if (r.op == TraceRecord::Op::kRead ||
+          r.op == TraceRecord::Op::kWrite) {
+        max_addr = std::max(max_addr, r.addr + 64);
+      }
+    }
+  }
+  base_ = machine.address_space().alloc_shared(
+      static_cast<std::size_t>(max_addr) + 64);
+  barrier_ = &machine.make_barrier(machine.nodes());
+}
+
+sim::Task<void> TraceWorkload::run(core::Cpu& cpu, int tid) {
+  // Threads beyond the trace's width (or with empty streams) still attend
+  // every barrier round so the replay cannot deadlock.
+  const std::vector<TraceRecord> empty;
+  const auto& stream =
+      static_cast<std::size_t>(tid) < streams_.size()
+          ? streams_[static_cast<std::size_t>(tid)]
+          : empty;
+  if (stream.empty()) {
+    for (std::int64_t k = 0; k < barrier_rounds_; ++k) {
+      co_await barrier_->wait(cpu);
+    }
+    if (executed_ == expected_) replay_complete_ = true;
+    co_return;
+  }
+  for (const TraceRecord& r : stream) {
+    switch (r.op) {
+      case TraceRecord::Op::kRead:
+        co_await cpu.read(base_ + r.addr);
+        break;
+      case TraceRecord::Op::kWrite:
+        co_await cpu.write(base_ + r.addr,
+                           std::max<std::int64_t>(1, r.arg));
+        break;
+      case TraceRecord::Op::kCompute:
+        co_await cpu.compute(r.arg);
+        break;
+      case TraceRecord::Op::kBarrier:
+        co_await barrier_->wait(cpu);
+        break;
+    }
+    ++executed_;
+  }
+  if (executed_ == expected_) replay_complete_ = true;
+}
+
+std::string trace_to_string(
+    const std::vector<std::vector<TraceRecord>>& streams) {
+  std::string out;
+  char buf[96];
+  for (std::size_t tid = 0; tid < streams.size(); ++tid) {
+    for (const TraceRecord& r : streams[tid]) {
+      switch (r.op) {
+        case TraceRecord::Op::kRead:
+          std::snprintf(buf, sizeof(buf), "%zu r %llu\n", tid,
+                        static_cast<unsigned long long>(r.addr));
+          break;
+        case TraceRecord::Op::kWrite:
+          std::snprintf(buf, sizeof(buf), "%zu w %llu %lld\n", tid,
+                        static_cast<unsigned long long>(r.addr),
+                        static_cast<long long>(r.arg));
+          break;
+        case TraceRecord::Op::kCompute:
+          std::snprintf(buf, sizeof(buf), "%zu c %lld\n", tid,
+                        static_cast<long long>(r.arg));
+          break;
+        case TraceRecord::Op::kBarrier:
+          std::snprintf(buf, sizeof(buf), "%zu b\n", tid);
+          break;
+      }
+      out += buf;
+    }
+  }
+  return out;
+}
+
+}  // namespace netcache::apps

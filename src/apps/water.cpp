@@ -1,0 +1,182 @@
+// Water: molecular dynamics of water molecules with spatial allocation
+// (SPLASH-2 water-spatial; paper Table 4: 512 molecules, 4 timesteps).
+// Cutoff-limited pairwise forces, a lock-protected potential-energy
+// accumulation, and barrier-separated integration.
+#include <cmath>
+#include <vector>
+
+#include "src/apps/workload.hpp"
+#include "src/common/rng.hpp"
+
+namespace netcache::apps {
+
+namespace {
+
+class Water final : public Workload {
+ public:
+  explicit Water(const WorkloadParams& p) : seed_(p.seed) {
+    n_ = p.paper_size ? 512 : std::max(64, static_cast<int>(128 * p.scale));
+    steps_ = 4;
+    box_ = 10.0;
+    cutoff2_ = 9.0;  // squared cutoff
+    dt_ = 1e-3;
+  }
+
+  const char* name() const override { return "water"; }
+
+  void setup(core::Machine& machine) override {
+    threads_ = machine.nodes();
+    std::size_t n3 = static_cast<std::size_t>(n_) * 3;
+    pos_.allocate(machine, n3);
+    vel_.allocate(machine, n3);
+    force_.allocate(machine, n3);
+    energy_.allocate(machine, 1);
+    Rng rng(seed_);
+    for (std::size_t i = 0; i < n3; ++i) {
+      pos_.raw(i) = rng.next_double() * box_;
+      vel_.raw(i) = (rng.next_double() - 0.5) * 0.1;
+    }
+    reference_solve();
+    barrier_ = &machine.make_barrier(threads_);
+    lock_ = &machine.make_lock();
+  }
+
+  sim::Task<void> run(core::Cpu& cpu, int tid) override {
+    Range mine = partition(static_cast<std::size_t>(n_), tid, threads_);
+    for (int step = 0; step < steps_; ++step) {
+      // 1. Forces on this node's molecules; reads every position.
+      double pot = 0.0;
+      for (std::size_t i = mine.begin; i < mine.end; ++i) {
+        double fx = 0.0, fy = 0.0, fz = 0.0;
+        double xi = co_await pos_.rd(cpu, 3 * i);
+        double yi = co_await pos_.rd(cpu, 3 * i + 1);
+        double zi = co_await pos_.rd(cpu, 3 * i + 2);
+        for (std::size_t j = 0; j < static_cast<std::size_t>(n_); ++j) {
+          if (j == i) continue;
+          double xj = co_await pos_.rd(cpu, 3 * j);
+          double yj = co_await pos_.rd(cpu, 3 * j + 1);
+          double zj = co_await pos_.rd(cpu, 3 * j + 2);
+          double dx = xi - xj, dy = yi - yj, dz = zi - zj;
+          double r2 = dx * dx + dy * dy + dz * dz;
+          co_await cpu.compute(10);
+          if (r2 > cutoff2_ || r2 < 1e-12) continue;
+          // Soft Lennard-Jones-ish pair force.
+          double inv2 = 1.0 / r2;
+          double inv6 = inv2 * inv2 * inv2;
+          double f = 24.0 * inv6 * (2.0 * inv6 - 1.0) * inv2 * 1e-4;
+          fx += f * dx;
+          fy += f * dy;
+          fz += f * dz;
+          pot += 4.0 * inv6 * (inv6 - 1.0) * 1e-4;
+          co_await cpu.compute(15);
+        }
+        co_await force_.wr(cpu, 3 * i, fx);
+        co_await force_.wr(cpu, 3 * i + 1, fy);
+        co_await force_.wr(cpu, 3 * i + 2, fz);
+      }
+      // Lock-protected global potential accumulation (the paper's water is
+      // one of the lock-heavy applications).
+      co_await lock_->acquire(cpu);
+      double e = co_await energy_.rd(cpu, 0);
+      co_await energy_.wr(cpu, 0, e + pot);
+      co_await lock_->release(cpu);
+      co_await barrier_->wait(cpu);
+
+      // 2. Integrate this node's molecules.
+      for (std::size_t i = mine.begin; i < mine.end; ++i) {
+        for (int c = 0; c < 3; ++c) {
+          double v = co_await vel_.rd(cpu, 3 * i + c);
+          double f = co_await force_.rd(cpu, 3 * i + c);
+          double x = co_await pos_.rd(cpu, 3 * i + c);
+          v += dt_ * f;
+          x += dt_ * v;
+          // Reflecting walls keep molecules in the box.
+          if (x < 0.0) x = -x, v = -v;
+          if (x > box_) x = 2.0 * box_ - x, v = -v;
+          co_await vel_.wr(cpu, 3 * i + c, v);
+          co_await pos_.wr(cpu, 3 * i + c, x);
+          co_await cpu.compute(6);
+        }
+      }
+      co_await barrier_->wait(cpu);
+    }
+  }
+
+  bool verify() override {
+    std::size_t n3 = static_cast<std::size_t>(n_) * 3;
+    for (std::size_t i = 0; i < n3; ++i) {
+      if (pos_.raw(i) != ref_pos_[i] || vel_.raw(i) != ref_vel_[i]) {
+        return false;
+      }
+    }
+    // Lock acquisition order varies, so the energy sum is order-dependent:
+    // check within FP-reassociation tolerance.
+    double want = ref_energy_;
+    double got = energy_.raw(0);
+    return std::abs(got - want) <= 1e-9 * std::max(1.0, std::abs(want));
+  }
+
+ private:
+  void reference_solve() {
+    std::size_t n3 = static_cast<std::size_t>(n_) * 3;
+    ref_pos_.assign(n3, 0.0);
+    ref_vel_.assign(n3, 0.0);
+    std::vector<double> force(n3, 0.0);
+    for (std::size_t i = 0; i < n3; ++i) {
+      ref_pos_[i] = pos_.raw(i);
+      ref_vel_[i] = vel_.raw(i);
+    }
+    ref_energy_ = 0.0;
+    for (int step = 0; step < steps_; ++step) {
+      for (std::size_t i = 0; i < static_cast<std::size_t>(n_); ++i) {
+        double fx = 0.0, fy = 0.0, fz = 0.0;
+        for (std::size_t j = 0; j < static_cast<std::size_t>(n_); ++j) {
+          if (j == i) continue;
+          double dx = ref_pos_[3 * i] - ref_pos_[3 * j];
+          double dy = ref_pos_[3 * i + 1] - ref_pos_[3 * j + 1];
+          double dz = ref_pos_[3 * i + 2] - ref_pos_[3 * j + 2];
+          double r2 = dx * dx + dy * dy + dz * dz;
+          if (r2 > cutoff2_ || r2 < 1e-12) continue;
+          double inv2 = 1.0 / r2;
+          double inv6 = inv2 * inv2 * inv2;
+          double f = 24.0 * inv6 * (2.0 * inv6 - 1.0) * inv2 * 1e-4;
+          fx += f * dx;
+          fy += f * dy;
+          fz += f * dz;
+          ref_energy_ += 4.0 * inv6 * (inv6 - 1.0) * 1e-4;
+        }
+        force[3 * i] = fx;
+        force[3 * i + 1] = fy;
+        force[3 * i + 2] = fz;
+      }
+      for (std::size_t i = 0; i < n3; ++i) {
+        double v = ref_vel_[i] + dt_ * force[i];
+        double x = ref_pos_[i] + dt_ * v;
+        if (x < 0.0) x = -x, v = -v;
+        if (x > box_) x = 2.0 * box_ - x, v = -v;
+        ref_vel_[i] = v;
+        ref_pos_[i] = x;
+      }
+    }
+  }
+
+  std::uint64_t seed_;
+  int n_;
+  int steps_;
+  double box_, cutoff2_, dt_;
+  int threads_ = 1;
+  SharedArray<double> pos_, vel_, force_;
+  SharedArray<double> energy_;
+  std::vector<double> ref_pos_, ref_vel_;
+  double ref_energy_ = 0.0;
+  core::Barrier* barrier_ = nullptr;
+  core::Lock* lock_ = nullptr;
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_water(const WorkloadParams& p) {
+  return std::make_unique<Water>(p);
+}
+
+}  // namespace netcache::apps

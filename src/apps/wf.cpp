@@ -1,0 +1,109 @@
+// WF: Warshall-Floyd all-pairs shortest paths over an adjacency matrix
+// (paper Table 4: 384 vertices, edges present with 50% probability).
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "src/apps/workload.hpp"
+#include "src/common/rng.hpp"
+
+namespace netcache::apps {
+
+namespace {
+
+constexpr std::int32_t kInf = 1 << 29;
+
+class Wf final : public Workload {
+ public:
+  explicit Wf(const WorkloadParams& p) : seed_(p.seed) {
+    n_ = p.paper_size
+             ? 384
+             : std::max(48, static_cast<int>(160 * std::cbrt(p.scale)));
+  }
+
+  const char* name() const override { return "wf"; }
+
+  void setup(core::Machine& machine) override {
+    threads_ = machine.nodes();
+    dist_.allocate(machine, static_cast<std::size_t>(n_) * n_);
+    Rng rng(seed_);
+    for (int i = 0; i < n_; ++i) {
+      for (int j = 0; j < n_; ++j) {
+        std::int32_t w;
+        if (i == j) {
+          w = 0;
+        } else if (rng.next_double() < 0.5) {
+          w = 1 + static_cast<std::int32_t>(rng.next_below(100));
+        } else {
+          w = kInf;
+        }
+        dist_.raw(idx(i, j)) = w;
+      }
+    }
+    reference_ = dist_.raw_data();
+    reference_solve();
+    barrier_ = &machine.make_barrier(threads_);
+  }
+
+  sim::Task<void> run(core::Cpu& cpu, int tid) override {
+    Range rows = partition(static_cast<std::size_t>(n_), tid, threads_);
+    for (int k = 0; k < n_; ++k) {
+      for (std::size_t i = rows.begin; i < rows.end; ++i) {
+        std::int32_t dik = co_await dist_.rd(cpu, idx(static_cast<int>(i), k));
+        if (dik >= kInf) continue;  // skipping rows causes the paper's
+                                    // barrier load imbalance
+        for (int j = 0; j < n_; ++j) {
+          std::int32_t dkj = co_await dist_.rd(cpu, idx(k, j));
+          std::int32_t dij =
+              co_await dist_.rd(cpu, idx(static_cast<int>(i), j));
+          if (dik + dkj < dij) {
+            co_await dist_.wr(cpu, idx(static_cast<int>(i), j), dik + dkj);
+          }
+        }
+        co_await cpu.compute(5 * n_);
+      }
+      co_await barrier_->wait(cpu);
+    }
+  }
+
+  bool verify() override {
+    for (std::size_t i = 0; i < dist_.size(); ++i) {
+      if (dist_.raw(i) != reference_[i]) return false;
+    }
+    return true;
+  }
+
+ private:
+  std::size_t idx(int i, int j) const {
+    return static_cast<std::size_t>(i) * static_cast<std::size_t>(n_) +
+           static_cast<std::size_t>(j);
+  }
+
+  void reference_solve() {
+    for (int k = 0; k < n_; ++k) {
+      for (int i = 0; i < n_; ++i) {
+        std::int32_t dik = reference_[idx(i, k)];
+        if (dik >= kInf) continue;
+        for (int j = 0; j < n_; ++j) {
+          reference_[idx(i, j)] =
+              std::min(reference_[idx(i, j)], dik + reference_[idx(k, j)]);
+        }
+      }
+    }
+  }
+
+  std::uint64_t seed_;
+  int n_;
+  int threads_ = 1;
+  SharedArray<std::int32_t> dist_;
+  std::vector<std::int32_t> reference_;
+  core::Barrier* barrier_ = nullptr;
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_wf(const WorkloadParams& p) {
+  return std::make_unique<Wf>(p);
+}
+
+}  // namespace netcache::apps

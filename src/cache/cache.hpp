@@ -1,0 +1,79 @@
+// Tag-only set-associative cache model (the simulator splits functional data
+// from timing state; caches track presence and coherence state, not bytes).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/common/config.hpp"
+#include "src/common/types.hpp"
+
+namespace netcache::cache {
+
+/// Coherence state stored per line. Update-based protocols only use kValid;
+/// I-SPEED uses the full set (paper Section 2.2).
+enum class LineState : std::uint8_t {
+  kInvalid,
+  kValid,      // update protocols: present and always up-to-date
+  kClean,     // I-SPEED: non-owner copy
+  kShared,    // I-SPEED: owner, memory up-to-date
+  kExclusive,  // I-SPEED: owner, dirty
+};
+
+/// What insert() displaced, so the protocol can issue writebacks.
+struct Eviction {
+  Addr block_base;
+  LineState state;
+};
+
+/// A set-associative tag store with LRU replacement within each set.
+class Cache {
+ public:
+  explicit Cache(const CacheConfig& config);
+
+  int block_bytes() const { return config_.block_bytes; }
+
+  /// True (and LRU-touched) if the block containing `addr` is present.
+  bool probe(Addr addr, Cycles now);
+
+  /// Presence check without touching replacement state.
+  bool contains(Addr addr) const;
+
+  /// Current state of the line holding `addr` (kInvalid if absent).
+  LineState state(Addr addr) const;
+
+  /// Sets the state of a present line; no-op if absent.
+  void set_state(Addr addr, LineState s);
+
+  /// Inserts the block containing `addr` with `state`, evicting the set's
+  /// LRU line if needed. Returns the eviction, if any.
+  std::optional<Eviction> insert(Addr addr, LineState state, Cycles now);
+
+  /// Invalidates the line holding `addr` (if present). Returns its previous
+  /// state (kInvalid if it was absent).
+  LineState invalidate(Addr addr);
+
+  /// Invalidates every line. Used between phases in tests.
+  void clear();
+
+  std::uint64_t evictions() const { return evictions_; }
+
+ private:
+  struct Line {
+    Addr tag = 0;  // block base address
+    LineState state = LineState::kInvalid;
+    Cycles last_use = 0;
+  };
+
+  std::size_t set_index(Addr addr) const;
+  Line* find(Addr addr);
+  const Line* find(Addr addr) const;
+
+  CacheConfig config_;
+  int sets_;
+  std::vector<Line> lines_;  // sets_ x associativity, row-major
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace netcache::cache

@@ -1,0 +1,26 @@
+// Replacement bookkeeping for set-associative caches and the ring cache.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/config.hpp"
+#include "src/common/rng.hpp"
+#include "src/common/types.hpp"
+
+namespace netcache::cache {
+
+/// Per-line usage metadata consulted by the replacement policies.
+struct LineUsage {
+  Cycles last_use = 0;      // LRU
+  std::uint64_t uses = 0;   // LFU
+  Cycles inserted_at = 0;   // FIFO
+};
+
+/// Chooses a victim index among `candidates` valid lines under `policy`.
+/// `usage` must have one entry per candidate. Invalid (empty) lines should be
+/// preferred by the caller before consulting this function.
+int pick_victim(RingReplacement policy, const std::vector<LineUsage>& usage,
+                Rng& rng);
+
+}  // namespace netcache::cache

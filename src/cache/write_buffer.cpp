@@ -1,0 +1,44 @@
+#include "src/cache/write_buffer.hpp"
+
+#include "src/common/nc_assert.hpp"
+
+namespace netcache::cache {
+
+bool WriteBuffer::add(Addr addr, int bytes, bool is_private) {
+  NC_ASSERT(bytes > 0 && bytes <= block_bytes_, "bad write size");
+  Addr base = block_base(addr, block_bytes_);
+  int first_word = word_in_block(addr, block_bytes_);
+  int words = static_cast<int>(ceil_div(bytes, kWordBytes));
+  std::uint32_t mask = 0;
+  for (int w = 0; w < words; ++w) {
+    mask |= 1u << (first_word + w);
+  }
+  for (WriteEntry& e : entries_) {
+    if (e.block_base == base) {
+      e.word_mask |= mask;
+      return true;
+    }
+  }
+  if (full()) return false;
+  entries_.push_back(WriteEntry{base, mask, is_private});
+  return true;
+}
+
+bool WriteBuffer::coalesces(Addr addr) const {
+  Addr base = block_base(addr, block_bytes_);
+  for (const WriteEntry& e : entries_) {
+    if (e.block_base == base) return true;
+  }
+  return false;
+}
+
+WriteEntry WriteBuffer::pop() {
+  NC_ASSERT(!entries_.empty(), "pop from empty write buffer");
+  WriteEntry e = entries_.front();
+  entries_.pop_front();
+  return e;
+}
+
+bool WriteBuffer::holds_block(Addr addr) const { return coalesces(addr); }
+
+}  // namespace netcache::cache

@@ -1,0 +1,62 @@
+// 16-entry coalescing write buffer (paper Section 4.1). Consecutive writes
+// to the same block merge into one entry; a background drainer per node pops
+// entries and turns them into coherence transactions.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "src/common/types.hpp"
+#include "src/sim/wait_list.hpp"
+
+namespace netcache::cache {
+
+/// One coalesced entry: a block plus the mask of dirty 4-byte words.
+struct WriteEntry {
+  Addr block_base = 0;
+  std::uint32_t word_mask = 0;
+  bool is_private = false;
+
+  int dirty_words() const { return __builtin_popcount(word_mask); }
+};
+
+class WriteBuffer {
+ public:
+  WriteBuffer(int entries, int block_bytes)
+      : capacity_(entries), block_bytes_(block_bytes) {}
+
+  int capacity() const { return capacity_; }
+  bool empty() const { return entries_.empty(); }
+  bool full() const { return static_cast<int>(entries_.size()) >= capacity_; }
+  std::size_t size() const { return entries_.size(); }
+
+  /// Records a write of `bytes` at `addr`. The caller must ensure the buffer
+  /// is not full unless the write coalesces; returns false exactly when a new
+  /// entry would be needed but the buffer is full (caller stalls and retries).
+  bool add(Addr addr, int bytes, bool is_private);
+
+  /// True if the write would coalesce into an existing entry.
+  bool coalesces(Addr addr) const;
+
+  /// Pops the oldest entry. Precondition: !empty().
+  WriteEntry pop();
+
+  /// True if the block containing `addr` has buffered (not yet drained)
+  /// writes; reads may bypass but protocols may care.
+  bool holds_block(Addr addr) const;
+
+  // Wait lists managed by the owning node:
+  sim::WaitList& space_waiters() { return space_waiters_; }
+  sim::WaitList& data_waiters() { return data_waiters_; }
+  sim::WaitList& idle_waiters() { return idle_waiters_; }
+
+ private:
+  int capacity_;
+  int block_bytes_;
+  std::deque<WriteEntry> entries_;
+  sim::WaitList space_waiters_;  // processor stalled on full buffer
+  sim::WaitList data_waiters_;   // drainer waiting for work
+  sim::WaitList idle_waiters_;   // release fences waiting for empty+quiet
+};
+
+}  // namespace netcache::cache

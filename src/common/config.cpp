@@ -1,0 +1,87 @@
+#include "src/common/config.hpp"
+
+#include <cmath>
+
+#include "src/common/nc_assert.hpp"
+
+namespace netcache {
+
+const char* to_string(SystemKind kind) {
+  switch (kind) {
+    case SystemKind::kNetCache: return "NetCache";
+    case SystemKind::kNetCacheNoRing: return "NetCache-NoRing";
+    case SystemKind::kLambdaNet: return "LambdaNet";
+    case SystemKind::kDmonUpdate: return "DMON-U";
+    case SystemKind::kDmonInvalidate: return "DMON-I";
+  }
+  return "?";
+}
+
+const char* to_string(RingReplacement policy) {
+  switch (policy) {
+    case RingReplacement::kRandom: return "Random";
+    case RingReplacement::kLfu: return "LFU";
+    case RingReplacement::kLru: return "LRU";
+    case RingReplacement::kFifo: return "FIFO";
+  }
+  return "?";
+}
+
+const char* to_string(RingAssociativity assoc) {
+  switch (assoc) {
+    case RingAssociativity::kFullyAssociative: return "Fully";
+    case RingAssociativity::kDirectMapped: return "Direct";
+  }
+  return "?";
+}
+
+void MachineConfig::validate() const {
+  NC_ASSERT(nodes > 0, "need at least one node");
+  NC_ASSERT(is_pow2(static_cast<std::uint64_t>(l1.block_bytes)) &&
+                is_pow2(static_cast<std::uint64_t>(l2.block_bytes)),
+            "cache block sizes must be powers of two");
+  NC_ASSERT(l2.block_bytes % l1.block_bytes == 0,
+            "L2 block must be a multiple of the L1 block");
+  NC_ASSERT(l1.size_bytes % (l1.block_bytes * l1.associativity) == 0,
+            "L1 geometry does not divide evenly");
+  NC_ASSERT(l2.size_bytes % (l2.block_bytes * l2.associativity) == 0,
+            "L2 geometry does not divide evenly");
+  NC_ASSERT(write_buffer_entries > 0, "write buffer cannot be empty");
+  NC_ASSERT(gbit_per_s > 0.0, "transmission rate must be positive");
+  NC_ASSERT(ring.block_bytes >= l2.block_bytes &&
+                ring.block_bytes % l2.block_bytes == 0 &&
+                is_pow2(static_cast<std::uint64_t>(ring.block_bytes)),
+            "shared cache line must be a power-of-two multiple of the L2 "
+            "block (the paper studies 64 and 128 bytes, Section 5.3.2)");
+  if (system == SystemKind::kNetCache) {
+    NC_ASSERT(ring.channels % nodes == 0,
+              "cache channels must divide evenly among home nodes");
+  }
+}
+
+Cycles LatencyParams::payload_cycles(int payload_bits) const {
+  return static_cast<Cycles>(
+      std::ceil(static_cast<double>(payload_bits) / bits_per_cycle));
+}
+
+Cycles LatencyParams::update_message(int words, bool slotted) const {
+  // Payload: `words` 4-byte words + 64-bit address/word-mask header.
+  Cycles t = payload_cycles(words * 32 + 64);
+  return slotted ? t + 1 : t;
+}
+
+LatencyParams derive_latencies(const MachineConfig& config) {
+  LatencyParams lp{};
+  lp.bits_per_cycle = config.gbit_per_s * 5.0;  // 5 ns per pcycle
+  lp.block_transfer = lp.payload_cycles(config.l2.block_bytes * 8);
+  lp.dmon_block_transfer = lp.block_transfer + 1;  // slot alignment
+  lp.invalidate_message = lp.payload_cycles(96);   // address + type
+  // The paper keeps ring capacity constant across rates by scaling fiber
+  // length inversely with the transmission rate.
+  lp.ring_roundtrip = static_cast<Cycles>(std::llround(
+      config.ring.base_roundtrip_cycles * 10.0 / config.gbit_per_s));
+  lp.ring_read_overhead = config.ring.read_overhead_cycles;
+  return lp;
+}
+
+}  // namespace netcache

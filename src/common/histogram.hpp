@@ -1,0 +1,79 @@
+// Power-of-two-bucketed latency histogram. Cheap enough to record every
+// read; used for the per-run latency-distribution reports (the paper only
+// published means; distributions expose the contention tails).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "src/common/types.hpp"
+
+namespace netcache {
+
+class LatencyHistogram {
+ public:
+  static constexpr int kBuckets = 24;  // up to ~8M pcycles
+
+  void record(Cycles latency) {
+    if (latency < 0) latency = 0;
+    int b = bucket_of(latency);
+    ++counts_[static_cast<std::size_t>(b)];
+    ++total_;
+    sum_ += static_cast<std::uint64_t>(latency);
+  }
+
+  std::uint64_t total() const { return total_; }
+  std::uint64_t count_in(int bucket) const {
+    return counts_[static_cast<std::size_t>(bucket)];
+  }
+
+  double mean() const {
+    return total_ == 0 ? 0.0
+                       : static_cast<double>(sum_) /
+                             static_cast<double>(total_);
+  }
+
+  /// Upper bound of the bucket containing the q-quantile (0 < q <= 1).
+  /// Exact to within the power-of-two bucket width.
+  Cycles quantile(double q) const {
+    if (total_ == 0) return 0;
+    std::uint64_t rank = static_cast<std::uint64_t>(
+        q * static_cast<double>(total_));
+    if (rank >= total_) rank = total_ - 1;
+    std::uint64_t seen = 0;
+    for (int b = 0; b < kBuckets; ++b) {
+      seen += counts_[static_cast<std::size_t>(b)];
+      if (seen > rank) return bucket_upper(b);
+    }
+    return bucket_upper(kBuckets - 1);
+  }
+
+  void merge(const LatencyHistogram& o) {
+    for (int b = 0; b < kBuckets; ++b) {
+      counts_[static_cast<std::size_t>(b)] +=
+          o.counts_[static_cast<std::size_t>(b)];
+    }
+    total_ += o.total_;
+    sum_ += o.sum_;
+  }
+
+  /// Bucket b covers [2^(b-1)+1 .. 2^b] cycles (bucket 0 covers {0, 1}).
+  static int bucket_of(Cycles latency) {
+    int b = 0;
+    Cycles upper = 1;
+    while (upper < latency && b < kBuckets - 1) {
+      upper <<= 1;
+      ++b;
+    }
+    return b;
+  }
+
+  static Cycles bucket_upper(int bucket) { return Cycles{1} << bucket; }
+
+ private:
+  std::array<std::uint64_t, kBuckets> counts_{};
+  std::uint64_t total_ = 0;
+  std::uint64_t sum_ = 0;
+};
+
+}  // namespace netcache

@@ -1,0 +1,15 @@
+// Always-on assertion macro: simulator invariants are cheap relative to the
+// work they guard, so they stay enabled in release builds.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+#define NC_ASSERT(cond, msg)                                              \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "NC_ASSERT failed at %s:%d: %s — %s\n",        \
+                   __FILE__, __LINE__, #cond, msg);                       \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)

@@ -1,0 +1,34 @@
+// Deterministic pseudo-random generator (SplitMix64). Every stochastic
+// choice in the simulator draws from a seeded Rng so runs are reproducible.
+#pragma once
+
+#include <cstdint>
+
+namespace netcache {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next_u64() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound).
+  std::uint32_t next_below(std::uint32_t bound) {
+    return static_cast<std::uint32_t>(next_u64() % bound);
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace netcache

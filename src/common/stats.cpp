@@ -1,0 +1,81 @@
+#include "src/common/stats.hpp"
+
+#include <algorithm>
+
+namespace netcache {
+
+void NodeStats::add(const NodeStats& o) {
+  reads += o.reads;
+  l1_hits += o.l1_hits;
+  l2_hits += o.l2_hits;
+  l2_misses += o.l2_misses;
+  local_mem_reads += o.local_mem_reads;
+  read_cycles += o.read_cycles;
+  l2_miss_cycles += o.l2_miss_cycles;
+  read_latency_hist.merge(o.read_latency_hist);
+  shared_cache_hits += o.shared_cache_hits;
+  shared_cache_misses += o.shared_cache_misses;
+  race_window_delays += o.race_window_delays;
+  writes += o.writes;
+  updates_sent += o.updates_sent;
+  update_words += o.update_words;
+  ownership_requests += o.ownership_requests;
+  invalidations_received += o.invalidations_received;
+  writebacks += o.writebacks;
+  wb_full_stall_cycles += o.wb_full_stall_cycles;
+  prefetches_issued += o.prefetches_issued;
+  prefetches_useful += o.prefetches_useful;
+  lock_acquires += o.lock_acquires;
+  barrier_waits += o.barrier_waits;
+  sync_cycles += o.sync_cycles;
+  compute_cycles += o.compute_cycles;
+  finish_time = std::max(finish_time, o.finish_time);
+}
+
+NodeStats MachineStats::total() const {
+  NodeStats t;
+  for (const auto& n : per_node_) t.add(n);
+  return t;
+}
+
+Cycles MachineStats::run_time() const { return total().finish_time; }
+
+double MachineStats::shared_cache_hit_rate() const {
+  NodeStats t = total();
+  std::uint64_t probes = t.shared_cache_hits + t.shared_cache_misses;
+  return probes == 0 ? 0.0
+                     : static_cast<double>(t.shared_cache_hits) /
+                           static_cast<double>(probes);
+}
+
+double MachineStats::avg_read_latency() const {
+  NodeStats t = total();
+  return t.reads == 0 ? 0.0
+                      : static_cast<double>(t.read_cycles) /
+                            static_cast<double>(t.reads);
+}
+
+double MachineStats::avg_l2_miss_latency() const {
+  NodeStats t = total();
+  return t.l2_misses == 0 ? 0.0
+                          : static_cast<double>(t.l2_miss_cycles) /
+                                static_cast<double>(t.l2_misses);
+}
+
+double MachineStats::read_latency_fraction() const {
+  NodeStats t = total();
+  Cycles busy = static_cast<Cycles>(nodes()) * run_time();
+  return busy == 0 ? 0.0
+                   : static_cast<double>(t.read_cycles) /
+                         static_cast<double>(busy);
+}
+
+double MachineStats::sync_fraction() const {
+  NodeStats t = total();
+  Cycles busy = static_cast<Cycles>(nodes()) * run_time();
+  return busy == 0 ? 0.0
+                   : static_cast<double>(t.sync_cycles) /
+                         static_cast<double>(busy);
+}
+
+}  // namespace netcache

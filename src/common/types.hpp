@@ -1,0 +1,48 @@
+// Fundamental scalar types and address helpers shared by every module.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+
+namespace netcache {
+
+/// Simulated time, measured in processor cycles (pcycles; 5 ns at 200 MHz).
+using Cycles = std::int64_t;
+
+/// A simulated physical address (byte granularity).
+using Addr = std::uint64_t;
+
+/// Node identifier, 0 .. nodes-1.
+using NodeId = std::int32_t;
+
+/// Invalid/absent node.
+inline constexpr NodeId kNoNode = -1;
+
+/// Machine word size used by the protocols (updates carry 4-byte words).
+inline constexpr int kWordBytes = 4;
+
+/// Returns the block number of `addr` for blocks of `block_bytes` bytes.
+/// `block_bytes` must be a power of two.
+constexpr Addr block_of(Addr addr, int block_bytes) {
+  return addr / static_cast<Addr>(block_bytes);
+}
+
+/// Returns the base address of the block containing `addr`.
+constexpr Addr block_base(Addr addr, int block_bytes) {
+  return addr & ~static_cast<Addr>(block_bytes - 1);
+}
+
+/// Returns the word index of `addr` within its block.
+constexpr int word_in_block(Addr addr, int block_bytes) {
+  return static_cast<int>((addr & static_cast<Addr>(block_bytes - 1)) /
+                          kWordBytes);
+}
+
+constexpr bool is_pow2(std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+/// ceil(a / b) for positive integers.
+constexpr std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  return (a + b - 1) / b;
+}
+
+}  // namespace netcache

@@ -1,0 +1,50 @@
+#include "src/core/address_space.hpp"
+
+#include "src/common/nc_assert.hpp"
+
+namespace netcache::core {
+
+AddressSpace::AddressSpace(int nodes, int block_bytes)
+    : nodes_(nodes),
+      block_bytes_(block_bytes),
+      private_top_(static_cast<std::size_t>(nodes), 0) {
+  NC_ASSERT(nodes > 0, "need nodes");
+  NC_ASSERT(is_pow2(static_cast<std::uint64_t>(block_bytes)),
+            "block size must be a power of two");
+}
+
+Addr AddressSpace::alloc_shared(std::size_t bytes) {
+  NC_ASSERT(bytes > 0, "empty allocation");
+  Addr base = static_cast<Addr>(shared_top_);
+  std::size_t aligned =
+      (bytes + static_cast<std::size_t>(block_bytes_) - 1) &
+      ~(static_cast<std::size_t>(block_bytes_) - 1);
+  shared_top_ += aligned;
+  NC_ASSERT(shared_top_ < (std::size_t{1} << 47), "shared heap overflow");
+  return base;
+}
+
+Addr AddressSpace::alloc_private(NodeId node, std::size_t bytes) {
+  NC_ASSERT(node >= 0 && node < nodes_, "bad node for private allocation");
+  std::size_t& top = private_top_[static_cast<std::size_t>(node)];
+  Addr base = kPrivateBit |
+              (static_cast<Addr>(node) << kPrivateNodeShift) |
+              static_cast<Addr>(top);
+  std::size_t aligned =
+      (bytes + static_cast<std::size_t>(block_bytes_) - 1) &
+      ~(static_cast<std::size_t>(block_bytes_) - 1);
+  top += aligned;
+  NC_ASSERT(top < (std::size_t{1} << kPrivateNodeShift),
+            "private heap overflow");
+  return base;
+}
+
+NodeId AddressSpace::home(Addr addr) const {
+  if (is_private(addr)) {
+    return static_cast<NodeId>((addr >> kPrivateNodeShift) & 0xFF);
+  }
+  return static_cast<NodeId>(block_of(addr, block_bytes_) %
+                             static_cast<Addr>(nodes_));
+}
+
+}  // namespace netcache::core

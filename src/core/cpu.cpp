@@ -1,0 +1,144 @@
+#include "src/core/cpu.hpp"
+
+#include "src/core/machine.hpp"
+
+namespace netcache::core {
+
+Cpu::Cpu(Machine& machine, Node& node)
+    : machine_(&machine),
+      node_(&node),
+      engine_(&machine.engine()),
+      config_(&machine.config()),
+      lat_(&machine.latencies()),
+      as_(&machine.address_space()) {}
+
+sim::Task<void> Cpu::read(Addr addr) {
+  NodeStats& st = node_->stats();
+  ++st.reads;
+  const Cycles t0 = engine_->now();
+
+  // L1 tag check (1 pcycle; hits complete here).
+  co_await engine_->delay(lat_->l1_tag_check);
+  if (node_->l1().probe(addr, engine_->now())) {
+    ++st.l1_hits;
+    st.read_cycles += engine_->now() - t0;
+    st.read_latency_hist.record(engine_->now() - t0);
+    co_return;
+  }
+
+  // L2 tag check; a hit costs l2_hit_cycles total.
+  co_await engine_->delay(lat_->l2_tag_check);
+  if (node_->l2().probe(addr, engine_->now())) {
+    co_await engine_->delay(config_->l2_hit_cycles - lat_->l1_tag_check -
+                            lat_->l2_tag_check);
+    ++st.l2_hits;
+    if (config_->sequential_prefetch &&
+        node_->take_prefetched(block_base(addr, config_->l2.block_bytes))) {
+      ++st.prefetches_useful;
+    }
+    node_->l1().insert(addr, cache::LineState::kValid, engine_->now());
+    st.read_cycles += engine_->now() - t0;
+    st.read_latency_hist.record(engine_->now() - t0);
+    co_return;
+  }
+
+  // L2 miss. A prefetch already in flight for this block turns the miss
+  // into a (shorter) wait for its completion.
+  const bool priv = as_->is_private(addr);
+  if (config_->sequential_prefetch && !priv) {
+    Addr blk = block_base(addr, config_->l2.block_bytes);
+    if (node_->prefetch_in_flight(blk)) {
+      while (node_->prefetch_in_flight(blk)) {
+        co_await node_->prefetch_waiters().wait();
+      }
+      node_->take_prefetched(blk);
+      ++st.prefetches_useful;
+      ++st.l2_hits;
+      co_await engine_->delay(config_->l2_hit_cycles - lat_->l1_tag_check -
+                              lat_->l2_tag_check);
+      node_->l1().insert(addr, cache::LineState::kValid, engine_->now());
+      st.read_cycles += engine_->now() - t0;
+      st.read_latency_hist.record(engine_->now() - t0);
+      co_return;
+    }
+  }
+  const Cycles tmiss = engine_->now();
+  FetchResult fr{};
+  if (priv) {
+    ++st.local_mem_reads;
+    co_await node_->mem().read_block();
+  } else {
+    fr = co_await machine_->interconnect().fetch_block(
+        id(), block_base(addr, config_->l2.block_bytes));
+    if (as_->home(addr) == id()) {
+      ++st.local_mem_reads;
+    } else {
+      ++st.l2_misses;
+      st.l2_miss_cycles += engine_->now() - tmiss;
+    }
+  }
+
+  // Fill L2 (evicting if needed) and L1.
+  auto evicted = node_->l2().insert(addr, fr.fill_state, engine_->now());
+  if (evicted && !as_->is_private(evicted->block_base)) {
+    machine_->interconnect().on_l2_eviction(id(), evicted->block_base,
+                                            evicted->state);
+  }
+  if (evicted) {
+    // Keep L1 inclusive enough: drop any stale L1 copies of the victim.
+    node_->invalidate_l1_block(evicted->block_base);
+  }
+  node_->l1().insert(addr, cache::LineState::kValid, engine_->now());
+  st.read_cycles += engine_->now() - t0;
+  st.read_latency_hist.record(engine_->now() - t0);
+
+  if (config_->sequential_prefetch && !priv) {
+    Addr next = block_base(addr, config_->l2.block_bytes) +
+                static_cast<Addr>(config_->l2.block_bytes);
+    if (!node_->l2().contains(next) && !node_->prefetch_in_flight(next)) {
+      node_->mark_prefetch_started(next);
+      engine_->spawn(prefetch(next));
+    }
+  }
+}
+
+sim::Task<void> Cpu::prefetch(Addr block) {
+  NodeStats& st = node_->stats();
+  ++st.prefetches_issued;
+  core::FetchResult fr;
+  if (as_->home(block) == id()) {
+    co_await node_->mem().read_block();
+  } else {
+    fr = co_await machine_->interconnect().fetch_block(id(), block);
+  }
+  // The demand stream may have brought the block in meanwhile; insert() is
+  // idempotent in that case.
+  auto evicted = node_->l2().insert(block, fr.fill_state, engine_->now());
+  if (evicted && !as_->is_private(evicted->block_base)) {
+    machine_->interconnect().on_l2_eviction(id(), evicted->block_base,
+                                            evicted->state);
+  }
+  if (evicted) node_->invalidate_l1_block(evicted->block_base);
+  node_->mark_prefetch_filled(block);
+}
+
+sim::Task<void> Cpu::write(Addr addr, int bytes) {
+  NodeStats& st = node_->stats();
+  ++st.writes;
+  co_await engine_->delay(1);
+  const bool priv = as_->is_private(addr);
+  while (!node_->wb().add(addr, bytes, priv)) {
+    const Cycles w0 = engine_->now();
+    co_await node_->wb().space_waiters().wait();
+    st.wb_full_stall_cycles += engine_->now() - w0;
+  }
+  node_->wb().data_waiters().notify_all(*engine_);
+}
+
+sim::Task<void> Cpu::compute(Cycles cycles) {
+  if (cycles <= 0) co_return;
+  node_->stats().compute_cycles += cycles;
+  co_await engine_->delay(cycles);
+}
+
+}  // namespace netcache::core

@@ -1,0 +1,105 @@
+#include "src/core/machine.hpp"
+
+#include "src/apps/workload.hpp"
+#include "src/common/nc_assert.hpp"
+#include "src/net/dmon/dmon_update_net.hpp"
+#include "src/net/dmon/ispeed_net.hpp"
+#include "src/net/lambdanet/lambdanet_net.hpp"
+#include "src/net/netcache/netcache_net.hpp"
+
+namespace netcache::core {
+
+namespace {
+
+std::unique_ptr<Interconnect> make_interconnect(Machine& machine) {
+  switch (machine.config().system) {
+    case SystemKind::kNetCache:
+      return std::make_unique<net::NetCacheNet>(machine, /*with_ring=*/true);
+    case SystemKind::kNetCacheNoRing:
+      return std::make_unique<net::NetCacheNet>(machine, /*with_ring=*/false);
+    case SystemKind::kLambdaNet:
+      return std::make_unique<net::LambdaNetNet>(machine);
+    case SystemKind::kDmonUpdate:
+      return std::make_unique<net::DmonUpdateNet>(machine);
+    case SystemKind::kDmonInvalidate:
+      return std::make_unique<net::ISpeedNet>(machine);
+  }
+  NC_ASSERT(false, "unknown system kind");
+  return nullptr;
+}
+
+}  // namespace
+
+Machine::Machine(const MachineConfig& config)
+    : config_(config),
+      lat_(derive_latencies(config)),
+      as_(config.nodes, config.l2.block_bytes),
+      stats_(config.nodes),
+      rng_(config.seed) {
+  config_.validate();
+  nodes_.reserve(static_cast<std::size_t>(config_.nodes));
+  for (NodeId n = 0; n < config_.nodes; ++n) {
+    nodes_.push_back(
+        std::make_unique<Node>(engine_, config_, n, stats_.node(n)));
+  }
+  interconnect_ = make_interconnect(*this);
+  cpus_.reserve(static_cast<std::size_t>(config_.nodes));
+  for (NodeId n = 0; n < config_.nodes; ++n) {
+    cpus_.push_back(std::make_unique<Cpu>(*this, *nodes_[n]));
+  }
+}
+
+Machine::~Machine() = default;
+
+Lock& Machine::make_lock() {
+  locks_.push_back(std::make_unique<Lock>(*this));
+  return *locks_.back();
+}
+
+Barrier& Machine::make_barrier(int parties) {
+  barriers_.push_back(std::make_unique<Barrier>(*this, parties));
+  return *barriers_.back();
+}
+
+sim::Task<void> Machine::worker(apps::Workload& workload, NodeId id) {
+  co_await workload.run(cpu(id), static_cast<int>(id));
+  co_await node(id).fence();
+  stats_.node(id).finish_time = engine_.now();
+  if (--workers_remaining_ == 0) {
+    for (auto& n : nodes_) n->request_shutdown();
+  }
+}
+
+RunSummary Machine::run(apps::Workload& workload) {
+  NC_ASSERT(!ran_, "a Machine runs exactly one workload");
+  ran_ = true;
+  workload.setup(*this);
+  workers_remaining_ = config_.nodes;
+  for (NodeId n = 0; n < config_.nodes; ++n) {
+    node(n).start(interconnect_.get());
+  }
+  for (NodeId n = 0; n < config_.nodes; ++n) {
+    engine_.spawn(worker(workload, n));
+  }
+  engine_.run();
+
+  RunSummary s;
+  s.system = interconnect_->name();
+  s.app = workload.name();
+  s.nodes = config_.nodes;
+  s.run_time = stats_.run_time();
+  s.totals = stats_.total();
+  s.shared_cache_hit_rate = stats_.shared_cache_hit_rate();
+  s.avg_read_latency = stats_.avg_read_latency();
+  s.avg_l2_miss_latency = stats_.avg_l2_miss_latency();
+  s.read_latency_fraction = stats_.read_latency_fraction();
+  s.sync_fraction = stats_.sync_fraction();
+  s.read_latency_p50 = s.totals.read_latency_hist.quantile(0.50);
+  s.read_latency_p90 = s.totals.read_latency_hist.quantile(0.90);
+  s.read_latency_p99 = s.totals.read_latency_hist.quantile(0.99);
+  s.events = engine_.events_executed();
+  s.verified = workload.verify();
+  return s;
+}
+
+}  // namespace netcache::core

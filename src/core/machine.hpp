@@ -1,0 +1,69 @@
+// Top-level simulated multiprocessor: engine + nodes + interconnect + shared
+// address space + synchronization primitives. One Machine runs one workload.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/common/config.hpp"
+#include "src/common/rng.hpp"
+#include "src/common/stats.hpp"
+#include "src/core/address_space.hpp"
+#include "src/core/cpu.hpp"
+#include "src/core/interconnect.hpp"
+#include "src/core/node.hpp"
+#include "src/core/run_summary.hpp"
+#include "src/core/sync.hpp"
+#include "src/sim/engine.hpp"
+
+namespace netcache::apps {
+class Workload;
+}
+
+namespace netcache::core {
+
+class Machine {
+ public:
+  explicit Machine(const MachineConfig& config);
+  ~Machine();
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  const MachineConfig& config() const { return config_; }
+  const LatencyParams& latencies() const { return lat_; }
+  sim::Engine& engine() { return engine_; }
+  AddressSpace& address_space() { return as_; }
+  MachineStats& stats() { return stats_; }
+  Rng& rng() { return rng_; }
+  int nodes() const { return config_.nodes; }
+  Node& node(NodeId id) { return *nodes_[static_cast<std::size_t>(id)]; }
+  Cpu& cpu(NodeId id) { return *cpus_[static_cast<std::size_t>(id)]; }
+  Interconnect& interconnect() { return *interconnect_; }
+
+  /// Synchronization primitives live as long as the machine.
+  Lock& make_lock();
+  Barrier& make_barrier(int parties);
+
+  /// Runs `workload` to completion: setup, one worker coroutine per node,
+  /// event loop until quiescent, then verification. Call once per Machine.
+  RunSummary run(apps::Workload& workload);
+
+ private:
+  sim::Task<void> worker(apps::Workload& workload, NodeId id);
+
+  MachineConfig config_;
+  LatencyParams lat_;
+  sim::Engine engine_;
+  AddressSpace as_;
+  MachineStats stats_;
+  Rng rng_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<std::unique_ptr<Cpu>> cpus_;
+  std::unique_ptr<Interconnect> interconnect_;
+  std::vector<std::unique_ptr<Lock>> locks_;
+  std::vector<std::unique_ptr<Barrier>> barriers_;
+  int workers_remaining_ = 0;
+  bool ran_ = false;
+};
+
+}  // namespace netcache::core

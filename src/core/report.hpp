@@ -1,0 +1,20 @@
+// Multi-section text report for one simulated run: per-node breakdowns,
+// machine totals, and the read-latency distribution — the raw material of
+// the paper's Section 5 analysis.
+#pragma once
+
+#include <string>
+
+#include "src/common/config.hpp"
+#include "src/common/stats.hpp"
+#include "src/core/run_summary.hpp"
+
+namespace netcache::core {
+
+/// Formats configuration, per-node statistics, totals and the latency
+/// distribution into a printable report.
+std::string detailed_report(const MachineConfig& config,
+                            const MachineStats& stats,
+                            const RunSummary& summary);
+
+}  // namespace netcache::core

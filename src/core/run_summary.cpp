@@ -1,0 +1,19 @@
+#include "src/core/run_summary.hpp"
+
+#include <cstdio>
+
+namespace netcache::core {
+
+std::string format_summary(const RunSummary& s) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%-10s %-9s n=%-2d time=%-10lld readlat=%6.1f miss=%6.1f "
+                "shc=%5.1f%% sync=%4.1f%% %s",
+                s.app.c_str(), s.system.c_str(), s.nodes,
+                static_cast<long long>(s.run_time), s.avg_read_latency,
+                s.avg_l2_miss_latency, 100.0 * s.shared_cache_hit_rate,
+                100.0 * s.sync_fraction, s.verified ? "ok" : "VERIFY-FAIL");
+  return buf;
+}
+
+}  // namespace netcache::core

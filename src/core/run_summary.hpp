@@ -1,0 +1,41 @@
+// The result of one simulated run, with the derived metrics the paper's
+// figures are built from.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/stats.hpp"
+#include "src/common/types.hpp"
+
+namespace netcache::core {
+
+struct RunSummary {
+  std::string system;
+  std::string app;
+  int nodes = 0;
+  Cycles run_time = 0;
+  bool verified = false;
+
+  NodeStats totals;
+
+  // Derived metrics (captured from MachineStats at end of run).
+  double shared_cache_hit_rate = 0.0;
+  double avg_read_latency = 0.0;
+  double avg_l2_miss_latency = 0.0;
+  double read_latency_fraction = 0.0;
+  double sync_fraction = 0.0;
+
+  // Read-latency distribution (bucketed; upper bounds of the quantile
+  // buckets).
+  Cycles read_latency_p50 = 0;
+  Cycles read_latency_p90 = 0;
+  Cycles read_latency_p99 = 0;
+
+  std::uint64_t events = 0;
+};
+
+/// One-line human-readable summary.
+std::string format_summary(const RunSummary& s);
+
+}  // namespace netcache::core

@@ -1,0 +1,44 @@
+// Synchronization primitives under release consistency. Acquires and
+// releases fence the write buffer and ride the coherence channels of the
+// active protocol (paper Sections 3.4 and 4.1).
+#pragma once
+
+#include "src/common/types.hpp"
+#include "src/core/cpu.hpp"
+#include "src/sim/task.hpp"
+#include "src/sim/wait_list.hpp"
+
+namespace netcache::core {
+
+class Machine;
+
+/// A spin-free queued lock serviced through coherence-channel messages.
+class Lock {
+ public:
+  explicit Lock(Machine& machine) : machine_(&machine) {}
+
+  sim::Task<void> acquire(Cpu& cpu);
+  sim::Task<void> release(Cpu& cpu);
+
+ private:
+  Machine* machine_;
+  bool held_ = false;
+  sim::WaitList waiters_;
+};
+
+/// A centralized barrier; the last arriver broadcasts the release.
+class Barrier {
+ public:
+  Barrier(Machine& machine, int parties)
+      : machine_(&machine), parties_(parties) {}
+
+  sim::Task<void> wait(Cpu& cpu);
+
+ private:
+  Machine* machine_;
+  int parties_;
+  int arrived_ = 0;
+  sim::WaitList waiters_;
+};
+
+}  // namespace netcache::core

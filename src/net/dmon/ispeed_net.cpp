@@ -1,0 +1,164 @@
+#include "src/net/dmon/ispeed_net.hpp"
+
+namespace netcache::net {
+
+ISpeedNet::ISpeedNet(core::Machine& machine)
+    : machine_(&machine),
+      lat_(&machine.latencies()),
+      fabric_(machine, /*broadcast_channels=*/1) {}
+
+NodeId ISpeedNet::owner_of(Addr block_base) const {
+  auto it = directory_.find(block_base);
+  return it == directory_.end() ? kNoNode : it->second;
+}
+
+sim::Task<core::FetchResult> ISpeedNet::fetch_block(NodeId requester,
+                                                    Addr block) {
+  sim::Engine& eng = machine_->engine();
+  NodeId home = machine_->address_space().home(block);
+
+  if (home != requester) {
+    co_await fabric_.send_request(requester, home);
+  }
+
+  NodeId owner = owner_of(block);
+  core::FetchResult result{};
+  if (owner != kNoNode && owner != requester &&
+      machine_->node(owner).l2().state(block) ==
+          cache::LineState::kExclusive) {
+    // The owner holds the only up-to-date (dirty) copy, so the miss must be
+    // forwarded ("if necessary", Section 2.2): directory lookup at the
+    // home, forward on the owner's home channel, the owner's L2 access, and
+    // a clean copy back on the requester's home channel.
+    co_await machine_->node(home).mem().directory_access();
+    if (owner != home) {
+      co_await fabric_.send_request(home, owner);
+    }
+    co_await eng.delay(machine_->config().l2_hit_cycles);
+    co_await fabric_.send_block_reply(owner, requester);
+    co_await eng.delay(lat_->ni_to_l2);
+    result.fill_state = cache::LineState::kClean;
+    co_return result;
+  }
+
+  // Memory supplies the block. If nobody owned it, the requester becomes
+  // the owner with a clean (shared) copy.
+  co_await machine_->node(home).mem().read_block();
+  if (home != requester) {
+    co_await fabric_.send_block_reply(home, requester);
+  }
+  co_await eng.delay(lat_->ni_to_l2);
+  if (owner == kNoNode || !machine_->node(owner).l2().contains(block)) {
+    directory_[block] = requester;
+    result.fill_state = cache::LineState::kShared;
+  } else {
+    result.fill_state = cache::LineState::kClean;
+  }
+  co_return result;
+}
+
+sim::Task<void> ISpeedNet::drain_write(NodeId src,
+                                       const cache::WriteEntry& entry) {
+  sim::Engine& eng = machine_->engine();
+  Addr block = entry.block_base;
+  NodeStats& st = machine_->node(src).stats();
+  core::Node& writer = machine_->node(src);
+
+  if (writer.l2().state(block) == cache::LineState::kExclusive) {
+    // Already the exclusive owner: the write completes locally.
+    co_await eng.delay(lat_->l2_tag_check + lat_->ispeed_l2_write);
+    co_return;
+  }
+
+  // Acquire ownership: broadcast an invalidation (Table 3 DMON-I column).
+  ++st.ownership_requests;
+  co_await eng.delay(lat_->l2_tag_check + lat_->ispeed_write_to_ni);
+  co_await fabric_.broadcast(src, 0, lat_->invalidate_message);
+  for (NodeId n = 0; n < machine_->nodes(); ++n) {
+    if (n != src) machine_->node(n).apply_invalidate(block);
+  }
+  {
+    // The directory update proceeds at the home memory off the critical
+    // path; it still occupies the module (contention, paper Section 5.1).
+    NodeId home_node = machine_->address_space().home(block);
+    machine_->engine().spawn(
+        machine_->node(home_node).mem().directory_access());
+  }
+  directory_[block] = src;
+
+  if (!writer.l2().contains(block)) {
+    // Write miss: fetch the block before completing the write (the common
+    // case is a write hit, since apps read before writing).
+    NodeId home = machine_->address_space().home(block);
+    co_await machine_->node(home).mem().read_block();
+    if (home != src) {
+      co_await fabric_.send_block_reply(home, src);
+    }
+    co_await eng.delay(lat_->ni_to_l2);
+    auto evicted =
+        writer.l2().insert(block, cache::LineState::kExclusive, eng.now());
+    if (evicted && !machine_->address_space().is_private(evicted->block_base)) {
+      on_l2_eviction(src, evicted->block_base, evicted->state);
+      writer.invalidate_l1_block(evicted->block_base);
+    }
+  }
+
+  // Ack from the home + the final write into the L2.
+  NodeId home = machine_->address_space().home(block);
+  co_await fabric_.reserve(home);
+  co_await eng.delay(lat_->ack + lat_->flight + lat_->ispeed_l2_write);
+  writer.l2().set_state(block, cache::LineState::kExclusive);
+}
+
+sim::Task<void> ISpeedNet::write_back(NodeId node, Addr block) {
+  sim::Engine& eng = machine_->engine();
+  NodeId home = machine_->address_space().home(block);
+  ++machine_->node(node).stats().writebacks;
+  if (home != node) {
+    co_await fabric_.reserve(node);
+    co_await eng.delay(lat_->tuning);
+    co_await fabric_.send_block_reply(node, home);
+  }
+  co_await machine_->node(home).mem().write_back_block(
+      machine_->config().l2.block_bytes / kWordBytes);
+}
+
+sim::Task<void> ISpeedNet::ownership_notify(NodeId node, Addr block) {
+  // Owner replacement of a clean (shared-state) block: tell the home the
+  // directory entry is stale; no data transfer.
+  sim::Engine& eng = machine_->engine();
+  NodeId home = machine_->address_space().home(block);
+  if (home != node) {
+    co_await fabric_.send_request(node, home);
+  } else {
+    co_await eng.delay(lat_->dmon_mem_request);
+  }
+}
+
+void ISpeedNet::on_l2_eviction(NodeId node, Addr block,
+                               cache::LineState state) {
+  // Directory bookkeeping is immediate; the traffic is fire-and-forget
+  // (writeback buffer semantics).
+  auto release_ownership = [&] {
+    auto it = directory_.find(block);
+    if (it != directory_.end() && it->second == node) directory_.erase(it);
+  };
+  switch (state) {
+    case cache::LineState::kExclusive:
+      release_ownership();
+      machine_->engine().spawn(write_back(node, block));
+      break;
+    case cache::LineState::kShared:
+      release_ownership();
+      machine_->engine().spawn(ownership_notify(node, block));
+      break;
+    default:
+      break;  // clean copies are dropped silently
+  }
+}
+
+sim::Task<void> ISpeedNet::sync_message(NodeId src) {
+  co_await fabric_.broadcast(src, 0, lat_->update_message(1, true));
+}
+
+}  // namespace netcache::net

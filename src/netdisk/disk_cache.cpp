@@ -1,0 +1,71 @@
+#include "src/netdisk/disk_cache.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/nc_assert.hpp"
+
+namespace netcache::netdisk {
+
+namespace {
+constexpr double kFiberMetersPerSecond = 2.1e8;  // paper Section 2.1
+constexpr double kSecondsPerCycle = 5e-9;        // 200 MHz pcycle
+}  // namespace
+
+DiskRingGeometry DiskRingGeometry::from_fiber(double fiber_meters,
+                                              double gbit_per_s,
+                                              int block_bytes, int channels) {
+  NC_ASSERT(fiber_meters > 0 && gbit_per_s > 0 && channels > 0,
+            "bad fiber geometry");
+  double propagation_s = fiber_meters / kFiberMetersPerSecond;
+  double bits_per_channel = gbit_per_s * 1e9 * propagation_s;
+  DiskRingGeometry g;
+  g.channels = channels;
+  g.blocks_per_channel = std::max(
+      1, static_cast<int>(bits_per_channel / (block_bytes * 8.0)));
+  g.roundtrip_cycles = std::max<Cycles>(
+      1, static_cast<Cycles>(std::llround(propagation_s / kSecondsPerCycle)));
+  return g;
+}
+
+DiskCachedVolume::DiskCachedVolume(sim::Engine& engine,
+                                   const DiskConfig& disk,
+                                   const DiskRingGeometry& geometry,
+                                   int nodes, Rng& rng)
+    : engine_(&engine),
+      disk_(disk),
+      geometry_(geometry),
+      ring_(
+          [&] {
+            RingConfig cfg;
+            cfg.channels = geometry.channels;
+            cfg.blocks_per_channel = geometry.blocks_per_channel;
+            cfg.block_bytes = disk.block_bytes;
+            cfg.replacement = RingReplacement::kRandom;
+            return cfg;
+          }(),
+          geometry.roundtrip_cycles,
+          /*read_overhead_cycles=*/5, nodes, disk.block_bytes, rng),
+      disk_arm_(engine) {}
+
+sim::Task<void> DiskCachedVolume::read(NodeId reader, Addr addr) {
+  Cycles t0 = engine_->now();
+  Addr block = block_base(addr, disk_.block_bytes);
+  if (auto arrive = ring_.arrival_time(block, reader, t0)) {
+    ++hits_;
+    ring_.touch(block, t0);
+    co_await engine_->delay(*arrive - t0);
+    total_latency_ += engine_->now() - t0;
+    co_return;
+  }
+  ++misses_;
+  // Disk access: exclusive arm, then the block streams off the platter and
+  // is placed on the ring for everyone.
+  co_await disk_arm_.acquire();
+  co_await engine_->delay(disk_.access_cycles + disk_.transfer_cycles);
+  disk_arm_.release();
+  ring_.insert(block, engine_->now());
+  total_latency_ += engine_->now() - t0;
+}
+
+}  // namespace netcache::netdisk

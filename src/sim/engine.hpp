@@ -1,0 +1,60 @@
+// Discrete-event simulation engine: virtual clock + event queue + coroutine
+// process management.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+
+#include "src/common/types.hpp"
+#include "src/sim/event_queue.hpp"
+#include "src/sim/task.hpp"
+
+namespace netcache::sim {
+
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Current virtual time in pcycles.
+  Cycles now() const { return now_; }
+
+  /// Schedules `action` to run at now() + delay.
+  void schedule(Cycles delay, EventQueue::Action action);
+
+  /// Schedules `h.resume()` at now() + delay.
+  void schedule_resume(Cycles delay, std::coroutine_handle<> h);
+
+  /// Detaches `t` as an independent process starting at now() + delay.
+  /// The coroutine frame self-destroys on completion.
+  void spawn(Task<void> t, Cycles delay = 0);
+
+  /// Runs until no events remain. Returns the final virtual time.
+  Cycles run();
+
+  /// Awaitable that suspends the current coroutine for `delay` cycles.
+  /// Usage: `co_await engine.delay(n);`
+  auto delay(Cycles delay) {
+    struct Awaiter {
+      Engine* eng;
+      Cycles d;
+      bool await_ready() const noexcept { return d <= 0; }
+      void await_suspend(std::coroutine_handle<> h) {
+        eng->schedule_resume(d, h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this, delay};
+  }
+
+  /// Number of events executed so far (diagnostic).
+  std::uint64_t events_executed() const { return events_executed_; }
+
+ private:
+  Cycles now_ = 0;
+  EventQueue queue_;
+  std::uint64_t events_executed_ = 0;
+};
+
+}  // namespace netcache::sim

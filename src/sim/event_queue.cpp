@@ -1,0 +1,27 @@
+#include "src/sim/event_queue.hpp"
+
+#include <utility>
+
+#include "src/common/nc_assert.hpp"
+
+namespace netcache::sim {
+
+void EventQueue::push(Cycles time, Action action) {
+  heap_.push(Event{time, next_seq_++, std::move(action)});
+}
+
+Cycles EventQueue::next_time() const {
+  NC_ASSERT(!heap_.empty(), "next_time on empty queue");
+  return heap_.top().time;
+}
+
+EventQueue::Action EventQueue::pop() {
+  NC_ASSERT(!heap_.empty(), "pop on empty queue");
+  // priority_queue::top() is const; the action must be moved out, so we
+  // const_cast the single mutation the container cannot express.
+  Action a = std::move(const_cast<Event&>(heap_.top()).action);
+  heap_.pop();
+  return a;
+}
+
+}  // namespace netcache::sim

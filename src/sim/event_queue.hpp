@@ -1,0 +1,45 @@
+// Time-ordered event queue for the discrete-event engine.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "src/common/types.hpp"
+
+namespace netcache::sim {
+
+/// A min-heap of (time, insertion-sequence, action). Ties in time break by
+/// insertion order, which keeps the simulation deterministic.
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  void push(Cycles time, Action action);
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  /// Time of the earliest pending event. Undefined when empty.
+  Cycles next_time() const;
+
+  /// Removes and returns the earliest event's action.
+  Action pop();
+
+ private:
+  struct Event {
+    Cycles time;
+    std::uint64_t seq;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace netcache::sim

@@ -1,0 +1,28 @@
+#include "src/sim/resource.hpp"
+
+#include "src/common/nc_assert.hpp"
+
+namespace netcache::sim {
+
+void Resource::release() {
+  NC_ASSERT(busy_, "release of a free resource");
+  if (waiters_.empty()) {
+    busy_ = false;
+    return;
+  }
+  // Hand over directly: the resource stays busy and the next waiter resumes
+  // at the current instant.
+  auto h = waiters_.front();
+  waiters_.pop_front();
+  engine_->schedule(0, [h] { h.resume(); });
+}
+
+Task<void> Resource::use(Cycles service) {
+  Cycles t0 = engine_->now();
+  co_await acquire();
+  wait_cycles_ += engine_->now() - t0;
+  co_await engine_->delay(service);
+  release();
+}
+
+}  // namespace netcache::sim

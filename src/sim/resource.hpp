@@ -1,0 +1,61 @@
+// FIFO-served exclusive resources (memory ports, optical channels, ...).
+#pragma once
+
+#include <coroutine>
+#include <deque>
+
+#include "src/common/types.hpp"
+#include "src/sim/engine.hpp"
+#include "src/sim/task.hpp"
+
+namespace netcache::sim {
+
+/// An exclusive resource with FIFO queueing. A holder acquires, works for
+/// some simulated time, then releases; waiters resume in arrival order.
+class Resource {
+ public:
+  explicit Resource(Engine& engine) : engine_(&engine) {}
+  Resource(const Resource&) = delete;
+  Resource& operator=(const Resource&) = delete;
+
+  bool busy() const { return busy_; }
+  std::size_t queue_length() const { return waiters_.size(); }
+
+  /// Awaitable acquisition: `co_await res.acquire();` — returns holding the
+  /// resource. Pair with release().
+  auto acquire() {
+    struct Awaiter {
+      Resource* res;
+      bool await_ready() const noexcept {
+        if (!res->busy_) {
+          res->busy_ = true;
+          return true;
+        }
+        return false;
+      }
+      void await_suspend(std::coroutine_handle<> h) {
+        res->waiters_.push_back(h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this};
+  }
+
+  /// Releases the resource; the next FIFO waiter (if any) resumes at the
+  /// current time via the event queue.
+  void release();
+
+  /// Convenience: acquire, occupy for `service` cycles, release.
+  Task<void> use(Cycles service);
+
+  /// Total cycles spent waiting in this resource's queue (contention metric).
+  Cycles wait_cycles() const { return wait_cycles_; }
+
+ private:
+  Engine* engine_;
+  bool busy_ = false;
+  std::deque<std::coroutine_handle<>> waiters_;
+  Cycles wait_cycles_ = 0;
+};
+
+}  // namespace netcache::sim

@@ -1,0 +1,42 @@
+// A list of suspended coroutines waiting for a condition, resumed explicitly.
+#pragma once
+
+#include <coroutine>
+#include <vector>
+
+#include "src/sim/engine.hpp"
+
+namespace netcache::sim {
+
+/// Condition-variable-like primitive: `co_await wl.wait()` suspends; a later
+/// `wl.notify_all(engine)` resumes every waiter at the current virtual time.
+/// The waiter must re-check its condition after resuming.
+class WaitList {
+ public:
+  auto wait() {
+    struct Awaiter {
+      WaitList* wl;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) {
+        wl->waiters_.push_back(h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this};
+  }
+
+  void notify_all(Engine& engine) {
+    if (waiters_.empty()) return;
+    for (auto h : waiters_) {
+      engine.schedule(0, [h] { h.resume(); });
+    }
+    waiters_.clear();
+  }
+
+  bool empty() const { return waiters_.empty(); }
+
+ private:
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+}  // namespace netcache::sim

@@ -1,0 +1,65 @@
+#include "src/core/address_space.hpp"
+
+#include <gtest/gtest.h>
+
+namespace netcache::core {
+namespace {
+
+TEST(AddressSpace, SharedBlocksInterleaveAcrossHomes) {
+  AddressSpace as(16, 64);
+  Addr base = as.alloc_shared(64 * 32);
+  EXPECT_EQ(base, 0u);
+  for (int b = 0; b < 32; ++b) {
+    EXPECT_EQ(as.home(base + static_cast<Addr>(b) * 64), b % 16);
+  }
+}
+
+TEST(AddressSpace, AllocationsAreBlockAligned) {
+  AddressSpace as(4, 64);
+  Addr a = as.alloc_shared(10);
+  Addr b = as.alloc_shared(100);
+  EXPECT_EQ(a % 64, 0u);
+  EXPECT_EQ(b % 64, 0u);
+  EXPECT_EQ(b, 64u);  // 10 bytes rounded up to one block
+}
+
+TEST(AddressSpace, PrivateAddressesCarryOwner) {
+  AddressSpace as(16, 64);
+  for (NodeId n = 0; n < 16; ++n) {
+    Addr p = as.alloc_private(n, 128);
+    EXPECT_TRUE(as.is_private(p));
+    EXPECT_EQ(as.home(p), n);
+  }
+}
+
+TEST(AddressSpace, PrivateRegionsPerNodeAreIndependent) {
+  AddressSpace as(4, 64);
+  Addr a0 = as.alloc_private(0, 64);
+  Addr a1 = as.alloc_private(1, 64);
+  Addr a0b = as.alloc_private(0, 64);
+  EXPECT_NE(a0, a1);
+  EXPECT_EQ(a0b - a0, 64u);
+}
+
+TEST(AddressSpace, SharedIsNotPrivate) {
+  AddressSpace as(4, 64);
+  EXPECT_FALSE(as.is_private(as.alloc_shared(64)));
+}
+
+TEST(AddressSpace, SingleNodeOwnsEverything) {
+  AddressSpace as(1, 64);
+  Addr a = as.alloc_shared(64 * 10);
+  for (int b = 0; b < 10; ++b) {
+    EXPECT_EQ(as.home(a + static_cast<Addr>(b) * 64), 0);
+  }
+}
+
+TEST(AddressSpace, TracksSharedBytes) {
+  AddressSpace as(4, 64);
+  as.alloc_shared(64);
+  as.alloc_shared(128);
+  EXPECT_EQ(as.shared_bytes_allocated(), 192u);
+}
+
+}  // namespace
+}  // namespace netcache::core

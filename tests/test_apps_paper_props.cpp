@@ -1,0 +1,121 @@
+// Property tests of the paper's qualitative results (Section 5) at the
+// repository's default workload sizes. These assert the *shapes* the
+// reproduction must preserve: who wins, and which reuse class each
+// application falls into.
+#include <gtest/gtest.h>
+
+#include "src/apps/workload.hpp"
+#include "src/core/machine.hpp"
+
+namespace netcache {
+namespace {
+
+core::RunSummary run_app(const std::string& app, SystemKind kind,
+                         int nodes = 16, double scale = 1.0) {
+  MachineConfig cfg;
+  cfg.nodes = nodes;
+  cfg.system = kind;
+  core::Machine m(cfg);
+  apps::WorkloadParams p;
+  p.scale = scale;
+  auto w = apps::make_workload(app, p);
+  return m.run(*w);
+}
+
+TEST(PaperShapes, NetCacheBeatsLambdaNetOnHighReuseMg) {
+  auto nc = run_app("mg", SystemKind::kNetCache);
+  auto ln = run_app("mg", SystemKind::kLambdaNet);
+  EXPECT_TRUE(nc.verified && ln.verified);
+  // Paper Figure 6: High-reuse applications gain a lot from the ring.
+  EXPECT_LT(nc.run_time * 1.2, ln.run_time);
+}
+
+TEST(PaperShapes, NetCacheRoughlyTiesLambdaNetOnLowReuseFft) {
+  auto nc = run_app("fft", SystemKind::kNetCache);
+  auto ln = run_app("fft", SystemKind::kLambdaNet);
+  // Paper Figure 6: Em3d/FFT/Radix show equivalent performance.
+  // Measured fidelity band: the reproduction tracks the paper's
+  // "equivalent performance" Low-reuse group to within ~25% either way
+  // (see EXPERIMENTS.md for the per-app numbers).
+  double ratio = static_cast<double>(nc.run_time) /
+                 static_cast<double>(ln.run_time);
+  EXPECT_LT(ratio, 1.30);
+  EXPECT_GT(ratio, 0.70);
+}
+
+TEST(PaperShapes, HitRateClassesHold) {
+  // Paper Section 5.2: Low-reuse < 32%, High-reuse ~70%.
+  EXPECT_LT(run_app("fft", SystemKind::kNetCache).shared_cache_hit_rate,
+            0.32);
+  EXPECT_LT(run_app("em3d", SystemKind::kNetCache).shared_cache_hit_rate,
+            0.35);
+  EXPECT_GT(run_app("mg", SystemKind::kNetCache).shared_cache_hit_rate, 0.55);
+}
+
+TEST(PaperShapes, RingIsWhatMakesNetCacheWin) {
+  // Without the ring, NetCache performs about like LambdaNet (Section 5.1:
+  // "a little worse, 1% on average").
+  auto with_ring = run_app("mg", SystemKind::kNetCache);
+  auto without = run_app("mg", SystemKind::kNetCacheNoRing);
+  EXPECT_LT(with_ring.run_time, without.run_time);
+  auto ln = run_app("mg", SystemKind::kLambdaNet);
+  double ratio = static_cast<double>(without.run_time) /
+                 static_cast<double>(ln.run_time);
+  EXPECT_GT(ratio, 0.85);
+  EXPECT_LT(ratio, 1.20);
+}
+
+TEST(PaperShapes, OceanSpeedsUpOnSixteenNodes) {
+  auto p1 = run_app("ocean", SystemKind::kNetCache, 1);
+  auto p16 = run_app("ocean", SystemKind::kNetCache, 16);
+  EXPECT_TRUE(p1.verified && p16.verified);
+  double speedup = static_cast<double>(p1.run_time) /
+                   static_cast<double>(p16.run_time);
+  EXPECT_GT(speedup, 4.0);
+  // Superlinear speedups are in-paper behaviour (Em3d reaches 23.4x when
+  // single-node caches thrash); just bound it sanely.
+  EXPECT_LT(speedup, 32.0);
+}
+
+TEST(PaperShapes, LargerSharedCacheNeverHurtsHitRate) {
+  // Figure 8's monotonicity, checked on a Moderate-reuse app.
+  MachineConfig cfg;
+  cfg.nodes = 16;
+  cfg.system = SystemKind::kNetCache;
+  double prev = -1.0;
+  for (int channels : {64, 128, 256}) {
+    cfg.ring.channels = channels;
+    core::Machine m(cfg);
+    apps::WorkloadParams p;
+    auto w = apps::make_workload("ocean", p);
+    auto s = m.run(*w);
+    EXPECT_TRUE(s.verified);
+    EXPECT_GE(s.shared_cache_hit_rate + 0.02, prev) << channels;
+    prev = s.shared_cache_hit_rate;
+  }
+}
+
+TEST(PaperShapes, MemoryLatencyHurtsNetCacheLess) {
+  // Figure 15: increasing the memory block read latency widens NetCache's
+  // advantage (checked on a High-reuse app at reduced scale).
+  auto runtime = [](SystemKind kind, Cycles mem) {
+    MachineConfig cfg;
+    cfg.nodes = 16;
+    cfg.system = kind;
+    cfg.mem_block_read_cycles = mem;
+    core::Machine m(cfg);
+    apps::WorkloadParams p;
+    p.scale = 0.4;
+    auto w = apps::make_workload("gauss", p);
+    return m.run(*w).run_time;
+  };
+  double nc_growth = static_cast<double>(runtime(SystemKind::kNetCache, 108)) /
+                     static_cast<double>(runtime(SystemKind::kNetCache, 44));
+  double ln_growth =
+      static_cast<double>(runtime(SystemKind::kLambdaNet, 108)) /
+      static_cast<double>(runtime(SystemKind::kLambdaNet, 44));
+  EXPECT_LT(nc_growth, ln_growth);
+}
+
+}  // namespace
+}  // namespace netcache

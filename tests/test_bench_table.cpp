@@ -1,0 +1,61 @@
+#include "bench/bench_common.hpp"
+
+#include <gtest/gtest.h>
+
+namespace netcache::bench {
+namespace {
+
+TEST(BenchTable, PreservesRowInsertionOrder) {
+  Table t("demo", {"a", "b"});
+  t.set("second", "a", 2.0);
+  t.set("first", "a", 1.0);
+  t.set("second", "b", 3.0);
+  std::string csv = t.to_csv();
+  auto second_pos = csv.find("second");
+  auto first_pos = csv.find("first");
+  ASSERT_NE(second_pos, std::string::npos);
+  ASSERT_NE(first_pos, std::string::npos);
+  EXPECT_LT(second_pos, first_pos);  // insertion order, not alphabetical
+}
+
+TEST(BenchTable, CsvHasHeaderAndValues) {
+  Table t("demo", {"x", "y"});
+  t.set("r1", "x", 1.5);
+  t.set("r1", "y", 2.25);
+  EXPECT_EQ(t.to_csv(), "row,x,y\nr1,1.5,2.25\n");
+}
+
+TEST(BenchTable, MissingCellsAreEmptyInCsv) {
+  Table t("demo", {"x", "y"});
+  t.set("r1", "y", 7.0);
+  EXPECT_EQ(t.to_csv(), "row,x,y\nr1,,7\n");
+}
+
+TEST(BenchTable, WritesCsvFile) {
+  Table t("Figure 99: demo table", {"v"});
+  t.set("r", "v", 42.0);
+  t.write_csv_to("/tmp");
+  std::FILE* f = std::fopen("/tmp/figure_99_demo_table.csv", "r");
+  ASSERT_NE(f, nullptr);
+  char buf[64] = {};
+  (void)std::fread(buf, 1, sizeof(buf) - 1, f);
+  std::fclose(f);
+  EXPECT_STREQ(buf, "row,v\nr,42\n");
+}
+
+TEST(BenchSimulate, RunsAndVerifies) {
+  SimOptions opts;
+  opts.nodes = 4;
+  opts.scale = 0.2;
+  auto s = simulate("sor", SystemKind::kLambdaNet, opts);
+  EXPECT_TRUE(s.verified);
+  EXPECT_GT(s.run_time, 0);
+}
+
+TEST(BenchProbes, LatencyTablesStillCalibrated) {
+  EXPECT_NEAR(mean_cold_read_latency(SystemKind::kLambdaNet), 111.0, 0.5);
+  EXPECT_NEAR(mean_ring_hit_latency(), 46.0, 3.0);
+}
+
+}  // namespace
+}  // namespace netcache::bench

@@ -1,0 +1,109 @@
+#include "src/cache/cache.hpp"
+
+#include <gtest/gtest.h>
+
+namespace netcache::cache {
+namespace {
+
+CacheConfig small_dm() { return CacheConfig{1024, 64, 1}; }  // 16 sets
+
+TEST(Cache, MissThenHit) {
+  Cache c(small_dm());
+  EXPECT_FALSE(c.probe(0x100, 0));
+  c.insert(0x100, LineState::kValid, 0);
+  EXPECT_TRUE(c.probe(0x100, 1));
+}
+
+TEST(Cache, SameBlockDifferentOffsetsHit) {
+  Cache c(small_dm());
+  c.insert(0x100, LineState::kValid, 0);
+  EXPECT_TRUE(c.probe(0x13F, 1));  // last byte of the 64-byte block
+  EXPECT_FALSE(c.probe(0x140, 2));  // next block
+}
+
+TEST(Cache, DirectMappedConflictEvicts) {
+  Cache c(small_dm());
+  // Blocks 0 and 16 map to set 0 in a 16-set direct-mapped cache.
+  c.insert(0, LineState::kValid, 0);
+  auto ev = c.insert(16 * 64, LineState::kExclusive, 1);
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_EQ(ev->block_base, 0u);
+  EXPECT_EQ(ev->state, LineState::kValid);
+  EXPECT_FALSE(c.contains(0));
+  EXPECT_TRUE(c.contains(16 * 64));
+}
+
+TEST(Cache, AssociativityAvoidsConflict) {
+  Cache c(CacheConfig{1024, 64, 2});  // 8 sets, 2-way
+  c.insert(0, LineState::kValid, 0);
+  auto ev = c.insert(8 * 64, LineState::kValid, 1);  // same set, other way
+  EXPECT_FALSE(ev.has_value());
+  EXPECT_TRUE(c.contains(0));
+  EXPECT_TRUE(c.contains(8 * 64));
+}
+
+TEST(Cache, LruVictimWithinSet) {
+  Cache c(CacheConfig{1024, 64, 2});
+  c.insert(0, LineState::kValid, 0);
+  c.insert(8 * 64, LineState::kValid, 1);
+  c.probe(0, 2);  // touch block 0 -> block 8*64 is LRU
+  auto ev = c.insert(16 * 64, LineState::kValid, 3);
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_EQ(ev->block_base, static_cast<Addr>(8 * 64));
+}
+
+TEST(Cache, InsertRefreshesInPlace) {
+  Cache c(small_dm());
+  c.insert(0x200, LineState::kClean, 0);
+  auto ev = c.insert(0x200, LineState::kExclusive, 5);
+  EXPECT_FALSE(ev.has_value());
+  EXPECT_EQ(c.state(0x200), LineState::kExclusive);
+  EXPECT_EQ(c.evictions(), 0u);
+}
+
+TEST(Cache, InvalidateReportsPriorState) {
+  Cache c(small_dm());
+  c.insert(0x300, LineState::kShared, 0);
+  EXPECT_EQ(c.invalidate(0x300), LineState::kShared);
+  EXPECT_EQ(c.invalidate(0x300), LineState::kInvalid);
+  EXPECT_FALSE(c.contains(0x300));
+}
+
+TEST(Cache, SetStateOnPresentLine) {
+  Cache c(small_dm());
+  c.insert(0x400, LineState::kValid, 0);
+  c.set_state(0x400, LineState::kExclusive);
+  EXPECT_EQ(c.state(0x400), LineState::kExclusive);
+  c.set_state(0x999000, LineState::kExclusive);  // absent: no-op
+  EXPECT_EQ(c.state(0x999000), LineState::kInvalid);
+}
+
+TEST(Cache, ClearEmptiesEverything) {
+  Cache c(small_dm());
+  for (Addr a = 0; a < 1024; a += 64) c.insert(a, LineState::kValid, 0);
+  c.clear();
+  for (Addr a = 0; a < 1024; a += 64) EXPECT_FALSE(c.contains(a));
+}
+
+TEST(Cache, PaperL1Geometry) {
+  // 4-KB direct-mapped, 32-byte blocks: 128 sets; addresses 4 KB apart
+  // collide.
+  Cache l1(CacheConfig{4 * 1024, 32, 1});
+  l1.insert(0, LineState::kValid, 0);
+  EXPECT_TRUE(l1.contains(31));
+  auto ev = l1.insert(4096, LineState::kValid, 1);
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_EQ(ev->block_base, 0u);
+}
+
+TEST(Cache, PaperL2Geometry) {
+  // 16-KB direct-mapped, 64-byte blocks: 256 sets.
+  Cache l2(CacheConfig{16 * 1024, 64, 1});
+  EXPECT_EQ(CacheConfig({16 * 1024, 64, 1}).sets(), 256);
+  l2.insert(100, LineState::kValid, 0);
+  l2.insert(100 + 16 * 1024, LineState::kValid, 1);
+  EXPECT_FALSE(l2.contains(100));
+}
+
+}  // namespace
+}  // namespace netcache::cache

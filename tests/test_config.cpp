@@ -1,0 +1,89 @@
+#include "src/common/config.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace netcache {
+namespace {
+
+TEST(Config, DefaultsMatchPaperBaseSystem) {
+  MachineConfig cfg;
+  EXPECT_EQ(cfg.nodes, 16);
+  EXPECT_EQ(cfg.l1.size_bytes, 4 * 1024);
+  EXPECT_EQ(cfg.l1.block_bytes, 32);
+  EXPECT_EQ(cfg.l2.size_bytes, 16 * 1024);
+  EXPECT_EQ(cfg.l2.block_bytes, 64);
+  EXPECT_EQ(cfg.write_buffer_entries, 16);
+  EXPECT_EQ(cfg.l2_hit_cycles, 12);
+  EXPECT_EQ(cfg.mem_block_read_cycles, 76);
+  EXPECT_DOUBLE_EQ(cfg.gbit_per_s, 10.0);
+  EXPECT_EQ(cfg.ring.channels, 128);
+  EXPECT_EQ(cfg.ring.capacity_bytes(), 32 * 1024);
+  cfg.validate();  // must not abort
+}
+
+TEST(Config, ValidateRejectsBadGeometry) {
+  MachineConfig cfg;
+  cfg.l2.block_bytes = 48;  // not a power of two
+  EXPECT_DEATH(cfg.validate(), "power");
+}
+
+TEST(Config, ValidateRejectsUnevenRingChannels) {
+  MachineConfig cfg;
+  cfg.nodes = 12;
+  cfg.ring.channels = 128;  // 128 % 12 != 0
+  EXPECT_DEATH(cfg.validate(), "channels");
+}
+
+TEST(Config, ValidateRejectsMismatchedRingBlock) {
+  MachineConfig cfg;
+  cfg.ring.block_bytes = 32;  // smaller than the 64-byte L2 block
+  EXPECT_DEATH(cfg.validate(), "shared cache line");
+  cfg.ring.block_bytes = 96;  // not a power-of-two multiple
+  EXPECT_DEATH(cfg.validate(), "shared cache line");
+  cfg.ring.block_bytes = 128;  // the paper's Section 5.3.2 variant: fine
+  cfg.ring.blocks_per_channel = 2;
+  cfg.validate();
+}
+
+TEST(Config, UpdateMessageScalesWithWords) {
+  MachineConfig cfg;
+  LatencyParams lp = derive_latencies(cfg);
+  EXPECT_EQ(lp.update_message(1, false), 2);   // 32+64 bits / 50
+  EXPECT_EQ(lp.update_message(16, false), 12);  // full block
+  EXPECT_LT(lp.update_message(1, true), lp.update_message(16, true));
+}
+
+TEST(Config, ToStringCoversAllEnums) {
+  EXPECT_STREQ(to_string(SystemKind::kNetCache), "NetCache");
+  EXPECT_STREQ(to_string(SystemKind::kNetCacheNoRing), "NetCache-NoRing");
+  EXPECT_STREQ(to_string(SystemKind::kLambdaNet), "LambdaNet");
+  EXPECT_STREQ(to_string(SystemKind::kDmonUpdate), "DMON-U");
+  EXPECT_STREQ(to_string(SystemKind::kDmonInvalidate), "DMON-I");
+  EXPECT_STREQ(to_string(RingReplacement::kRandom), "Random");
+  EXPECT_STREQ(to_string(RingReplacement::kLru), "LRU");
+  EXPECT_STREQ(to_string(RingReplacement::kLfu), "LFU");
+  EXPECT_STREQ(to_string(RingReplacement::kFifo), "FIFO");
+  EXPECT_STREQ(to_string(RingAssociativity::kFullyAssociative), "Fully");
+  EXPECT_STREQ(to_string(RingAssociativity::kDirectMapped), "Direct");
+}
+
+TEST(Config, CacheSets) {
+  EXPECT_EQ((CacheConfig{4096, 32, 1}).sets(), 128);
+  EXPECT_EQ((CacheConfig{16384, 64, 1}).sets(), 256);
+  EXPECT_EQ((CacheConfig{16384, 64, 4}).sets(), 64);
+}
+
+TEST(Config, RingRoundtripScalesInverselyWithRate) {
+  MachineConfig cfg;
+  for (double rate : {2.5, 5.0, 10.0, 20.0, 40.0}) {
+    cfg.gbit_per_s = rate;
+    LatencyParams lp = derive_latencies(cfg);
+    EXPECT_EQ(lp.ring_roundtrip,
+              static_cast<Cycles>(std::llround(40.0 * 10.0 / rate)));
+  }
+}
+
+}  // namespace
+}  // namespace netcache

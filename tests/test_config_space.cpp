@@ -1,0 +1,104 @@
+// Config-space invariant sweeps: physical monotonicities that must hold
+// for every system, checked on a fast synthetic workload.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "src/apps/synthetic.hpp"
+#include "src/core/machine.hpp"
+
+namespace netcache {
+namespace {
+
+Cycles run_hot(SystemKind kind, std::function<void(MachineConfig&)> tweak) {
+  MachineConfig cfg;
+  cfg.system = kind;
+  if (tweak) tweak(cfg);
+  core::Machine m(cfg);
+  apps::SyntheticSpec spec;
+  spec.pattern = "hot";
+  spec.accesses_per_node = 3000;
+  auto w = apps::make_synthetic(spec);
+  auto s = m.run(*w);
+  EXPECT_TRUE(s.verified);
+  return s.run_time;
+}
+
+class AllSystems : public ::testing::TestWithParam<SystemKind> {};
+
+TEST_P(AllSystems, SlowerMemoryNeverSpeedsThingsUp) {
+  SystemKind kind = GetParam();
+  Cycles prev = 0;
+  for (Cycles mem : {44, 76, 108, 140}) {
+    Cycles t = run_hot(kind, [mem](MachineConfig& c) {
+      c.mem_block_read_cycles = mem;
+    });
+    EXPECT_GE(t, prev) << "mem=" << mem;
+    prev = t;
+  }
+}
+
+TEST_P(AllSystems, HigherRateNeverSlowsThingsDown) {
+  SystemKind kind = GetParam();
+  Cycles prev = std::numeric_limits<Cycles>::max();
+  for (double rate : {5.0, 10.0, 20.0}) {
+    Cycles t = run_hot(kind, [rate](MachineConfig& c) {
+      c.gbit_per_s = rate;
+    });
+    EXPECT_LE(t, prev) << "rate=" << rate;
+    prev = t;
+  }
+}
+
+TEST_P(AllSystems, MoreNodesDividesTheWork) {
+  // Synthetic load is per-node constant, so more nodes = more total work;
+  // just check runs complete and verify across widths.
+  SystemKind kind = GetParam();
+  for (int nodes : {2, 4, 8, 16}) {
+    MachineConfig cfg;
+    cfg.system = kind;
+    cfg.nodes = nodes;
+    core::Machine m(cfg);
+    apps::SyntheticSpec spec;
+    spec.pattern = "uniform";
+    spec.accesses_per_node = 1000;
+    auto w = apps::make_synthetic(spec);
+    EXPECT_TRUE(m.run(*w).verified) << nodes << " nodes";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, AllSystems,
+    ::testing::Values(SystemKind::kNetCache, SystemKind::kNetCacheNoRing,
+                      SystemKind::kLambdaNet, SystemKind::kDmonUpdate,
+                      SystemKind::kDmonInvalidate),
+    [](const ::testing::TestParamInfo<SystemKind>& info) {
+      std::string name = to_string(info.param);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(NetCacheConfigSpace, RingNeverHurtsTheHotPattern) {
+  Cycles with_ring = run_hot(SystemKind::kNetCache, nullptr);
+  Cycles without = run_hot(SystemKind::kNetCacheNoRing, nullptr);
+  EXPECT_LE(with_ring, without);
+}
+
+TEST(NetCacheConfigSpace, BiggerRingNeverHurtsTheHotPattern) {
+  Cycles prev = 0;
+  for (int channels : {64, 128, 256}) {
+    Cycles t = run_hot(SystemKind::kNetCache, [channels](MachineConfig& c) {
+      c.ring.channels = channels;
+    });
+    if (prev != 0) {
+      EXPECT_LE(t, prev + prev / 50) << channels;  // allow 2% noise
+    }
+    prev = t;
+  }
+}
+
+}  // namespace
+}  // namespace netcache

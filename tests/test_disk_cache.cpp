@@ -1,0 +1,128 @@
+#include "src/netdisk/disk_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.hpp"
+#include "src/sim/engine.hpp"
+
+namespace netcache::netdisk {
+namespace {
+
+DiskCachedVolume make_volume(sim::Engine& engine, Rng& rng,
+                             double fiber_meters = 10000.0) {
+  DiskConfig disk;
+  auto geometry = DiskRingGeometry::from_fiber(fiber_meters, 10.0,
+                                               disk.block_bytes, 32);
+  return DiskCachedVolume(engine, disk, geometry, 16, rng);
+}
+
+TEST(DiskRingGeometry, CapacityScalesLinearlyWithFiber) {
+  auto g1 = DiskRingGeometry::from_fiber(10000.0, 10.0, 4096, 32);
+  auto g2 = DiskRingGeometry::from_fiber(20000.0, 10.0, 4096, 32);
+  EXPECT_NEAR(2.0 * g1.blocks_per_channel, g2.blocks_per_channel, 1.0);
+  EXPECT_NEAR(2.0 * static_cast<double>(g1.roundtrip_cycles),
+              static_cast<double>(g2.roundtrip_cycles), 2.0);
+}
+
+TEST(DiskRingGeometry, CapacityScalesWithRate) {
+  auto slow = DiskRingGeometry::from_fiber(10000.0, 5.0, 4096, 32);
+  auto fast = DiskRingGeometry::from_fiber(10000.0, 20.0, 4096, 32);
+  EXPECT_GT(fast.blocks_per_channel, 3 * slow.blocks_per_channel);
+  // Propagation time depends only on length.
+  EXPECT_EQ(slow.roundtrip_cycles, fast.roundtrip_cycles);
+}
+
+TEST(DiskRingGeometry, PaperRuleOfThumb) {
+  // Section 2.1: ~5 Kbit on a 100 m channel at 10 Gbit/s.
+  auto g = DiskRingGeometry::from_fiber(100.0, 10.0, /*block=*/64, 1);
+  EXPECT_NEAR(g.blocks_per_channel * 64 * 8, 4762, 300);
+}
+
+TEST(DiskCachedVolume, MissCostsDiskHitCostsRing) {
+  sim::Engine engine;
+  Rng rng(7);
+  auto volume = make_volume(engine, rng);
+  Cycles miss_done = -1, hit_done = -1, hit_start = -1;
+  auto io = [&]() -> sim::Task<void> {
+    co_await volume.read(0, 4096 * 5);
+    miss_done = engine.now();
+    hit_start = engine.now();
+    co_await volume.read(3, 4096 * 5);
+    hit_done = engine.now();
+  };
+  engine.spawn(io());
+  engine.run();
+  DiskConfig disk;
+  EXPECT_GE(miss_done, disk.access_cycles);
+  // A hit never touches the disk: bounded by one ring roundtrip + overhead.
+  auto geometry =
+      DiskRingGeometry::from_fiber(10000.0, 10.0, disk.block_bytes, 32);
+  EXPECT_LE(hit_done - hit_start, geometry.roundtrip_cycles + 10);
+  EXPECT_EQ(volume.hits(), 1u);
+  EXPECT_EQ(volume.misses(), 1u);
+}
+
+TEST(DiskCachedVolume, ArmSerializesMisses) {
+  sim::Engine engine;
+  Rng rng(7);
+  auto volume = make_volume(engine, rng);
+  Cycles done = -1;
+  auto io = [&](Addr block) -> sim::Task<void> {
+    co_await volume.read(0, block);
+    done = std::max(done, engine.now());
+  };
+  engine.spawn(io(0));
+  engine.spawn(io(4096));
+  engine.run();
+  DiskConfig disk;
+  // Two cold misses must serialize on the single disk arm.
+  EXPECT_GE(done, 2 * (disk.access_cycles + disk.transfer_cycles));
+}
+
+TEST(DiskCachedVolume, LongerFiberRaisesHitRate) {
+  auto run_hit_rate = [](double meters) {
+    sim::Engine engine;
+    Rng rng(7);
+    DiskConfig disk;
+    auto geometry =
+        DiskRingGeometry::from_fiber(meters, 10.0, disk.block_bytes, 32);
+    DiskCachedVolume volume(engine, disk, geometry, 4, rng);
+    auto io = [&volume, &engine](NodeId n) -> sim::Task<void> {
+      Rng local(n + 1);
+      for (int i = 0; i < 300; ++i) {
+        co_await volume.read(n, static_cast<Addr>(local.next_below(512)) *
+                                    4096);
+        co_await engine.delay(50);
+      }
+    };
+    for (NodeId n = 0; n < 4; ++n) engine.spawn(io(n));
+    engine.run();
+    return volume.hit_rate();
+  };
+  double small = run_hit_rate(1000.0);     // ~128 KB
+  double large = run_hit_rate(100000.0);   // ~18 MB >> 2 MB working set
+  EXPECT_GT(large, small + 0.2);
+}
+
+TEST(DiskCachedVolume, MeanLatencyTracksHitRate) {
+  sim::Engine engine;
+  Rng rng(7);
+  auto volume = make_volume(engine, rng, 100000.0);
+  auto io = [&]() -> sim::Task<void> {
+    for (int round = 0; round < 10; ++round) {
+      for (int b = 0; b < 16; ++b) {
+        co_await volume.read(0, static_cast<Addr>(b) * 4096);
+      }
+    }
+  };
+  engine.spawn(io());
+  engine.run();
+  // 16 cold misses, 144 hits.
+  EXPECT_EQ(volume.misses(), 16u);
+  EXPECT_EQ(volume.hits(), 144u);
+  DiskConfig disk;
+  EXPECT_LT(volume.mean_latency(), disk.access_cycles);
+}
+
+}  // namespace
+}  // namespace netcache::netdisk

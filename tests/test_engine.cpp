@@ -1,0 +1,88 @@
+#include "src/sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace netcache::sim {
+namespace {
+
+TEST(Engine, ClockAdvancesToEventTimes) {
+  Engine eng;
+  std::vector<Cycles> seen;
+  eng.schedule(5, [&] { seen.push_back(eng.now()); });
+  eng.schedule(17, [&] { seen.push_back(eng.now()); });
+  Cycles end = eng.run();
+  EXPECT_EQ(seen, (std::vector<Cycles>{5, 17}));
+  EXPECT_EQ(end, 17);
+}
+
+TEST(Engine, NestedSchedulingIsRelative) {
+  Engine eng;
+  Cycles inner_time = -1;
+  eng.schedule(10, [&] { eng.schedule(7, [&] { inner_time = eng.now(); }); });
+  eng.run();
+  EXPECT_EQ(inner_time, 17);
+}
+
+TEST(Engine, DelayAwaitableSuspendsForExactly) {
+  Engine eng;
+  Cycles after = -1;
+  auto proc = [&]() -> Task<void> {
+    co_await eng.delay(42);
+    after = eng.now();
+  };
+  eng.spawn(proc());
+  eng.run();
+  EXPECT_EQ(after, 42);
+}
+
+TEST(Engine, ZeroDelayDoesNotSuspend) {
+  Engine eng;
+  int steps = 0;
+  auto proc = [&]() -> Task<void> {
+    co_await eng.delay(0);
+    ++steps;
+    co_await eng.delay(-5);  // clamped: ready immediately
+    ++steps;
+  };
+  eng.spawn(proc());
+  eng.run();
+  EXPECT_EQ(steps, 2);
+}
+
+TEST(Engine, SpawnWithStartDelay) {
+  Engine eng;
+  Cycles started = -1;
+  auto proc = [&]() -> Task<void> {
+    started = eng.now();
+    co_return;
+  };
+  eng.spawn(proc(), 33);
+  eng.run();
+  EXPECT_EQ(started, 33);
+}
+
+TEST(Engine, CountsExecutedEvents) {
+  Engine eng;
+  for (int i = 0; i < 5; ++i) eng.schedule(i, [] {});
+  eng.run();
+  EXPECT_EQ(eng.events_executed(), 5u);
+}
+
+TEST(Engine, ManyConcurrentProcesses) {
+  Engine eng;
+  int done = 0;
+  auto proc = [&](Cycles d) -> Task<void> {
+    co_await eng.delay(d);
+    co_await eng.delay(d);
+    ++done;
+  };
+  for (Cycles d = 1; d <= 100; ++d) eng.spawn(proc(d));
+  Cycles end = eng.run();
+  EXPECT_EQ(done, 100);
+  EXPECT_EQ(end, 200);
+}
+
+}  // namespace
+}  // namespace netcache::sim

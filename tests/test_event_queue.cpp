@@ -1,0 +1,62 @@
+#include "src/sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace netcache::sim {
+namespace {
+
+TEST(EventQueue, OrdersByTime) {
+  EventQueue q;
+  std::vector<int> order;
+  q.push(30, [&] { order.push_back(3); });
+  q.push(10, [&] { order.push_back(1); });
+  q.push(20, [&] { order.push_back(2); });
+  while (!q.empty()) q.pop()();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.push(5, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop()();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EventQueue, NextTimeReportsEarliest) {
+  EventQueue q;
+  q.push(42, [] {});
+  q.push(7, [] {});
+  EXPECT_EQ(q.next_time(), 7);
+  q.pop();
+  EXPECT_EQ(q.next_time(), 42);
+}
+
+TEST(EventQueue, SizeTracksContents) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  q.push(1, [] {});
+  q.push(2, [] {});
+  EXPECT_EQ(q.size(), 2u);
+  q.pop();
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, InterleavedPushPop) {
+  EventQueue q;
+  std::vector<int> order;
+  q.push(10, [&] { order.push_back(1); });
+  q.pop()();
+  q.push(5, [&] { order.push_back(2); });
+  q.push(1, [&] { order.push_back(3); });
+  q.pop()();
+  q.pop()();
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 2}));
+}
+
+}  // namespace
+}  // namespace netcache::sim

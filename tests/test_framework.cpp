@@ -1,0 +1,129 @@
+// Tests of the workload framework: partitioning properties, simulated
+// array addressing, and functional/timing consistency.
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "src/apps/workload.hpp"
+#include "src/core/machine.hpp"
+
+namespace netcache::apps {
+namespace {
+
+class PartitionProps
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(PartitionProps, CoversDisjointlyAndBalanced) {
+  const auto& [count, threads] = GetParam();
+  std::vector<int> owner(static_cast<std::size_t>(count), -1);
+  std::size_t min_len = static_cast<std::size_t>(count) + 1;
+  std::size_t max_len = 0;
+  for (int t = 0; t < threads; ++t) {
+    Range r = partition(static_cast<std::size_t>(count), t, threads);
+    ASSERT_LE(r.begin, r.end);
+    ASSERT_LE(r.end, static_cast<std::size_t>(count));
+    for (std::size_t i = r.begin; i < r.end; ++i) {
+      ASSERT_EQ(owner[i], -1) << "overlap at " << i;
+      owner[i] = t;
+    }
+    min_len = std::min(min_len, r.end - r.begin);
+    max_len = std::max(max_len, r.end - r.begin);
+  }
+  for (int i = 0; i < count; ++i) {
+    ASSERT_NE(owner[static_cast<std::size_t>(i)], -1) << "gap at " << i;
+  }
+  EXPECT_LE(max_len - min_len, 1u) << "imbalanced partition";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PartitionProps,
+    ::testing::Combine(::testing::Values(0, 1, 5, 16, 17, 100, 1000),
+                       ::testing::Values(1, 2, 3, 7, 16, 32)),
+    [](const ::testing::TestParamInfo<std::tuple<int, int>>& info) {
+      return "n" + std::to_string(std::get<0>(info.param)) + "_t" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(SharedArrayAddressing, ContiguousAndAligned) {
+  MachineConfig cfg;
+  cfg.nodes = 4;
+  core::Machine m(cfg);
+  SharedArray<double> a;
+  a.allocate(m, 100);
+  EXPECT_EQ(a.addr(0) % 64, 0u);
+  for (std::size_t i = 1; i < 100; ++i) {
+    EXPECT_EQ(a.addr(i) - a.addr(i - 1), sizeof(double));
+  }
+  SharedArray<float> b;
+  b.allocate(m, 10);
+  // Different arrays never overlap.
+  EXPECT_GE(b.addr(0), a.addr(99) + sizeof(double));
+}
+
+TEST(SharedArrayAddressing, TimedAccessesReturnFunctionalValues) {
+  MachineConfig cfg;
+  cfg.nodes = 2;
+  core::Machine m(cfg);
+
+  struct Wl : Workload {
+    SharedArray<int> arr;
+    bool ok = true;
+    const char* name() const override { return "arr"; }
+    void setup(core::Machine& mm) override {
+      arr.allocate(mm, 64);
+      for (int i = 0; i < 64; ++i) arr.raw(static_cast<std::size_t>(i)) = i;
+    }
+    sim::Task<void> run(core::Cpu& cpu, int tid) override {
+      if (tid != 0) co_return;
+      for (int i = 0; i < 64; ++i) {
+        int v = co_await arr.rd(cpu, static_cast<std::size_t>(i));
+        if (v != i) ok = false;
+        co_await arr.wr(cpu, static_cast<std::size_t>(i), v * 2);
+      }
+      for (int i = 0; i < 64; ++i) {
+        if ((co_await arr.rd(cpu, static_cast<std::size_t>(i))) != 2 * i) {
+          ok = false;
+        }
+      }
+    }
+    bool verify() override { return ok; }
+  };
+  Wl wl;
+  EXPECT_TRUE(m.run(wl).verified);
+}
+
+TEST(PrivateArrayAddressing, MapsToOwnersMemory) {
+  MachineConfig cfg;
+  cfg.nodes = 4;
+  core::Machine m(cfg);
+  PrivateArray<int> p;
+  p.allocate(m, 2, 32);
+  EXPECT_TRUE(m.address_space().is_private(p.addr(0)));
+  EXPECT_EQ(m.address_space().home(p.addr(0)), 2);
+  EXPECT_EQ(m.address_space().home(p.addr(31)), 2);
+}
+
+TEST(WorkloadParams, PaperSizeIsLargerThanDefault) {
+  // Spot-check that the paper_size flag actually enlarges the inputs.
+  for (const char* app : {"fft", "radix", "wf"}) {
+    MachineConfig cfg;
+    cfg.nodes = 16;
+    cfg.system = SystemKind::kLambdaNet;
+    WorkloadParams small;
+    small.scale = 0.2;
+    core::Machine ms(cfg);
+    auto w1 = make_workload(app, small);
+    auto s1 = ms.run(*w1);
+    WorkloadParams paper;
+    paper.paper_size = true;
+    core::Machine mp(cfg);
+    auto w2 = make_workload(app, paper);
+    auto s2 = mp.run(*w2);
+    EXPECT_GT(s2.totals.reads, s1.totals.reads) << app;
+    EXPECT_TRUE(s2.verified) << app;
+  }
+}
+
+}  // namespace
+}  // namespace netcache::apps

@@ -1,0 +1,87 @@
+#include "src/common/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/core/report.hpp"
+
+namespace netcache {
+namespace {
+
+TEST(Histogram, BucketBoundaries) {
+  EXPECT_EQ(LatencyHistogram::bucket_of(0), 0);
+  EXPECT_EQ(LatencyHistogram::bucket_of(1), 0);
+  EXPECT_EQ(LatencyHistogram::bucket_of(2), 1);
+  EXPECT_EQ(LatencyHistogram::bucket_of(3), 2);
+  EXPECT_EQ(LatencyHistogram::bucket_of(4), 2);
+  EXPECT_EQ(LatencyHistogram::bucket_of(5), 3);
+  EXPECT_EQ(LatencyHistogram::bucket_of(128), 7);
+  EXPECT_EQ(LatencyHistogram::bucket_of(129), 8);
+}
+
+TEST(Histogram, MeanIsExact) {
+  LatencyHistogram h;
+  h.record(10);
+  h.record(20);
+  h.record(30);
+  EXPECT_DOUBLE_EQ(h.mean(), 20.0);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, QuantilesAreBucketUpperBounds) {
+  LatencyHistogram h;
+  for (int i = 0; i < 90; ++i) h.record(10);   // bucket <=16
+  for (int i = 0; i < 10; ++i) h.record(1000);  // bucket <=1024
+  EXPECT_EQ(h.quantile(0.5), 16);
+  EXPECT_EQ(h.quantile(0.89), 16);
+  EXPECT_EQ(h.quantile(0.95), 1024);
+  EXPECT_EQ(h.quantile(1.0), 1024);
+}
+
+TEST(Histogram, EmptyIsZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.quantile(0.5), 0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(Histogram, MergeAccumulates) {
+  LatencyHistogram a, b;
+  a.record(5);
+  b.record(500);
+  b.record(5);
+  a.merge(b);
+  EXPECT_EQ(a.total(), 3u);
+  EXPECT_EQ(a.quantile(0.99), 512);
+}
+
+TEST(Histogram, ClampsNegativeAndHuge) {
+  LatencyHistogram h;
+  h.record(-5);
+  h.record(Cycles{1} << 40);
+  EXPECT_EQ(h.total(), 2u);
+  EXPECT_EQ(h.quantile(0.0), 1);  // negative clamped into bucket 0
+}
+
+TEST(Report, ContainsTheHeadlineNumbers) {
+  MachineConfig cfg;
+  cfg.nodes = 2;
+  MachineStats stats(2);
+  stats.node(0).reads = 100;
+  stats.node(0).l1_hits = 90;
+  stats.node(0).finish_time = 5000;
+  stats.node(1).finish_time = 6000;
+  core::RunSummary summary;
+  summary.system = "NetCache";
+  summary.app = "demo";
+  summary.nodes = 2;
+  summary.run_time = 6000;
+  summary.verified = true;
+  summary.totals = stats.total();
+  std::string report = core::detailed_report(cfg, stats, summary);
+  EXPECT_NE(report.find("NetCache"), std::string::npos);
+  EXPECT_NE(report.find("demo"), std::string::npos);
+  EXPECT_NE(report.find("6000"), std::string::npos);
+  EXPECT_NE(report.find("verified: yes"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace netcache

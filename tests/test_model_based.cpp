@@ -1,0 +1,218 @@
+// Model-based property tests: the cache structures are driven with long
+// random operation sequences and checked against simple reference models
+// after every step.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <list>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "src/cache/cache.hpp"
+#include "src/cache/write_buffer.hpp"
+#include "src/common/rng.hpp"
+#include "src/net/netcache/ring_cache.hpp"
+
+namespace netcache {
+namespace {
+
+// ---- Cache vs per-set LRU list model ---------------------------------------
+
+class CacheModel {
+ public:
+  CacheModel(int sets, int ways, int block_bytes)
+      : sets_(sets), ways_(ways), block_(block_bytes) {}
+
+  bool contains(Addr addr) const {
+    auto it = sets_map_.find(set_of(addr));
+    if (it == sets_map_.end()) return false;
+    Addr base = block_base(addr, block_);
+    return std::find(it->second.begin(), it->second.end(), base) !=
+           it->second.end();
+  }
+
+  void touch(Addr addr) {
+    auto& lru = sets_map_[set_of(addr)];
+    Addr base = block_base(addr, block_);
+    auto it = std::find(lru.begin(), lru.end(), base);
+    if (it != lru.end()) {
+      lru.erase(it);
+      lru.push_back(base);  // most recent at the back
+    }
+  }
+
+  std::optional<Addr> insert(Addr addr) {
+    Addr base = block_base(addr, block_);
+    auto& lru = sets_map_[set_of(addr)];
+    auto it = std::find(lru.begin(), lru.end(), base);
+    if (it != lru.end()) {
+      lru.erase(it);
+      lru.push_back(base);
+      return std::nullopt;
+    }
+    std::optional<Addr> evicted;
+    if (static_cast<int>(lru.size()) >= ways_) {
+      evicted = lru.front();
+      lru.pop_front();
+    }
+    lru.push_back(base);
+    return evicted;
+  }
+
+  void invalidate(Addr addr) {
+    auto& lru = sets_map_[set_of(addr)];
+    Addr base = block_base(addr, block_);
+    auto it = std::find(lru.begin(), lru.end(), base);
+    if (it != lru.end()) lru.erase(it);
+  }
+
+ private:
+  std::size_t set_of(Addr addr) const {
+    return static_cast<std::size_t>(block_of(addr, block_) %
+                                    static_cast<Addr>(sets_));
+  }
+  int sets_, ways_, block_;
+  std::map<std::size_t, std::list<Addr>> sets_map_;
+};
+
+class CacheVsModel : public ::testing::TestWithParam<int> {};
+
+TEST_P(CacheVsModel, RandomOpsAgree) {
+  const int ways = GetParam();
+  CacheConfig cfg{2048, 64, ways};
+  cache::Cache cache(cfg);
+  CacheModel model(cfg.sets(), ways, 64);
+  Rng rng(2024 + static_cast<std::uint64_t>(ways));
+  Cycles now = 0;
+  for (int step = 0; step < 20000; ++step) {
+    Addr addr = static_cast<Addr>(rng.next_below(256)) * 64 +
+                rng.next_below(64);
+    ++now;
+    switch (rng.next_below(4)) {
+      case 0: {  // probe (touches LRU on hit)
+        bool hit = cache.probe(addr, now);
+        ASSERT_EQ(hit, model.contains(addr)) << "step " << step;
+        if (hit) model.touch(addr);
+        break;
+      }
+      case 1: case 2: {  // insert
+        auto ev = cache.insert(addr, cache::LineState::kValid, now);
+        auto mev = model.insert(addr);
+        ASSERT_EQ(ev.has_value(), mev.has_value()) << "step " << step;
+        if (ev) {
+          ASSERT_EQ(ev->block_base, *mev) << "step " << step;
+        }
+        break;
+      }
+      default: {  // invalidate
+        cache.invalidate(addr);
+        model.invalidate(addr);
+        break;
+      }
+    }
+    ASSERT_EQ(cache.contains(addr), model.contains(addr)) << "step " << step;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Associativities, CacheVsModel,
+                         ::testing::Values(1, 2, 4, 8),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "ways" + std::to_string(info.param);
+                         });
+
+// ---- WriteBuffer vs FIFO map model -----------------------------------------
+
+TEST(WriteBufferVsModel, RandomOpsAgree) {
+  cache::WriteBuffer wb(8, 64);
+  std::vector<std::pair<Addr, std::uint32_t>> model;  // FIFO of (base, mask)
+  Rng rng(7);
+  for (int step = 0; step < 20000; ++step) {
+    if (rng.next_below(3) != 0 || model.empty()) {
+      Addr addr = static_cast<Addr>(rng.next_below(32)) * 64 +
+                  rng.next_below(16) * 4;
+      bool ok = wb.add(addr, 4, false);
+      Addr base = block_base(addr, 64);
+      std::uint32_t bit = 1u << word_in_block(addr, 64);
+      auto it = std::find_if(model.begin(), model.end(),
+                             [&](const auto& e) { return e.first == base; });
+      if (it != model.end()) {
+        ASSERT_TRUE(ok);
+        it->second |= bit;
+      } else if (model.size() < 8) {
+        ASSERT_TRUE(ok);
+        model.emplace_back(base, bit);
+      } else {
+        ASSERT_FALSE(ok);
+      }
+    } else {
+      cache::WriteEntry e = wb.pop();
+      ASSERT_EQ(e.block_base, model.front().first);
+      ASSERT_EQ(e.word_mask, model.front().second);
+      model.erase(model.begin());
+    }
+    ASSERT_EQ(wb.size(), model.size());
+    ASSERT_EQ(wb.full(), model.size() == 8);
+  }
+}
+
+// ---- RingCache vs map model -------------------------------------------------
+
+TEST(RingCacheVsModel, CapacityAndMembershipInvariants) {
+  RingConfig cfg;
+  cfg.channels = 8;
+  cfg.blocks_per_channel = 4;
+  Rng rng(99);
+  net::RingCache ring(cfg, 40, 5, 4, 64, rng);
+  std::map<int, std::vector<Addr>> model;  // channel -> members
+  Rng ops(123);
+  for (int step = 0; step < 20000; ++step) {
+    Addr block = static_cast<Addr>(ops.next_below(64)) * 64;
+    int ch = ring.channel_of(block);
+    switch (ops.next_below(4)) {
+      case 0: case 1: {
+        auto evicted = ring.insert(block, step);
+        auto& members = model[ch];
+        auto it = std::find(members.begin(), members.end(), block);
+        if (it == members.end()) {
+          if (evicted) {
+            auto ev = std::find(members.begin(), members.end(), *evicted);
+            ASSERT_NE(ev, members.end()) << "evicted a non-member";
+            members.erase(ev);
+          }
+          members.push_back(block);
+        } else {
+          ASSERT_FALSE(evicted.has_value()) << "re-insert must not evict";
+        }
+        break;
+      }
+      case 2:
+        ring.drop(block);
+        {
+          auto& members = model[ch];
+          auto it = std::find(members.begin(), members.end(), block);
+          if (it != members.end()) members.erase(it);
+        }
+        break;
+      default: {
+        bool present = ring.contains(block);
+        auto& members = model[ch];
+        bool model_present =
+            std::find(members.begin(), members.end(), block) !=
+            members.end();
+        ASSERT_EQ(present, model_present) << "step " << step;
+        if (present) {
+          auto arrive = ring.arrival_time(block, 0, step);
+          ASSERT_TRUE(arrive.has_value());
+          ASSERT_GE(*arrive, step);
+          ASSERT_LE(*arrive, step + 40 + 5);  // within one roundtrip
+        }
+        break;
+      }
+    }
+    ASSERT_LE(model[ch].size(), 4u) << "channel overfull";
+  }
+}
+
+}  // namespace
+}  // namespace netcache

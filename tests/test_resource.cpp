@@ -1,0 +1,84 @@
+#include "src/sim/resource.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/engine.hpp"
+
+namespace netcache::sim {
+namespace {
+
+TEST(Resource, SerializesUsers) {
+  Engine eng;
+  Resource res(eng);
+  std::vector<Cycles> completions;
+  auto user = [&]() -> Task<void> {
+    co_await res.use(10);
+    completions.push_back(eng.now());
+  };
+  for (int i = 0; i < 3; ++i) eng.spawn(user());
+  eng.run();
+  EXPECT_EQ(completions, (std::vector<Cycles>{10, 20, 30}));
+}
+
+TEST(Resource, FifoOrderAmongWaiters) {
+  Engine eng;
+  Resource res(eng);
+  std::vector<int> order;
+  auto user = [&](int id, Cycles arrive) -> Task<void> {
+    co_await eng.delay(arrive);
+    co_await res.use(5);
+    order.push_back(id);
+  };
+  eng.spawn(user(1, 0));
+  eng.spawn(user(2, 1));
+  eng.spawn(user(3, 2));
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Resource, FreeResourceAcquiresImmediately) {
+  Engine eng;
+  Resource res(eng);
+  Cycles acquired_at = -1;
+  auto user = [&]() -> Task<void> {
+    co_await res.acquire();
+    acquired_at = eng.now();
+    res.release();
+  };
+  eng.spawn(user());
+  eng.run();
+  EXPECT_EQ(acquired_at, 0);
+}
+
+TEST(Resource, TracksWaitCycles) {
+  Engine eng;
+  Resource res(eng);
+  auto user = [&]() -> Task<void> { co_await res.use(10); };
+  eng.spawn(user());
+  eng.spawn(user());
+  eng.spawn(user());
+  eng.run();
+  // Second waits 10, third waits 20.
+  EXPECT_EQ(res.wait_cycles(), 30);
+}
+
+TEST(Resource, IdleBetweenBursts) {
+  Engine eng;
+  Resource res(eng);
+  std::vector<Cycles> completions;
+  auto user = [&](Cycles arrive) -> Task<void> {
+    co_await eng.delay(arrive);
+    co_await res.use(5);
+    completions.push_back(eng.now());
+  };
+  eng.spawn(user(0));
+  eng.spawn(user(100));
+  eng.run();
+  EXPECT_EQ(completions, (std::vector<Cycles>{5, 105}));
+  EXPECT_FALSE(res.busy());
+}
+
+}  // namespace
+}  // namespace netcache::sim

@@ -1,0 +1,179 @@
+#include "src/net/netcache/ring_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace netcache::net {
+namespace {
+
+RingConfig base_ring() {
+  RingConfig r;
+  r.channels = 128;
+  r.blocks_per_channel = 4;
+  r.block_bytes = 64;
+  return r;
+}
+
+Addr blk(int n) { return static_cast<Addr>(n) * 64; }
+
+TEST(RingCache, GeometryMatchesPaper) {
+  EXPECT_EQ(base_ring().capacity_bytes(), 32 * 1024);
+}
+
+TEST(RingCache, ChannelAssignmentInterleaves) {
+  Rng rng(1);
+  RingCache ring(base_ring(), 40, 5, 16, 64, rng);
+  EXPECT_EQ(ring.channel_of(blk(0)), 0);
+  EXPECT_EQ(ring.channel_of(blk(1)), 1);
+  EXPECT_EQ(ring.channel_of(blk(129)), 1);
+  // Channel and home interleaving are consistent: channel mod nodes == home.
+  EXPECT_EQ(ring.channel_of(blk(35)) % 16, 35 % 16);
+}
+
+TEST(RingCache, InsertThenContains) {
+  Rng rng(1);
+  RingCache ring(base_ring(), 40, 5, 16, 64, rng);
+  EXPECT_FALSE(ring.contains(blk(5)));
+  ring.insert(blk(5), 0);
+  EXPECT_TRUE(ring.contains(blk(5)));
+  ring.drop(blk(5));
+  EXPECT_FALSE(ring.contains(blk(5)));
+}
+
+TEST(RingCache, ArrivalDependsOnRotationPhase) {
+  Rng rng(1);
+  RingCache ring(base_ring(), 40, 5, 16, 64, rng);
+  ring.insert(blk(0), 0);  // channel 0, first slot (index 0)
+  // Node 0 sits at phase 0; slot 0 passes at t % 40 == 0.
+  auto a = ring.arrival_time(blk(0), 0, 3);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(*a, 40 + 5);
+  // Node 8 sits half a ring away (phase 20).
+  auto b = ring.arrival_time(blk(0), 8, 0);
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(*b, 20 + 5);
+  // At exactly the passage instant the read completes with only overhead.
+  auto c = ring.arrival_time(blk(0), 0, 40);
+  EXPECT_EQ(*c, 45);
+}
+
+TEST(RingCache, ArrivalAveragesHalfRoundtrip) {
+  Rng rng(1);
+  RingCache ring(base_ring(), 40, 5, 16, 64, rng);
+  ring.insert(blk(0), 0);
+  Cycles total = 0;
+  for (Cycles t = 0; t < 40; ++t) {
+    total += *ring.arrival_time(blk(0), 0, t) - t;
+  }
+  // Mean delay = roundtrip/2 + overhead + 0.5 => Table 1's "avg 25".
+  EXPECT_NEAR(static_cast<double>(total) / 40.0, 25.0, 1.0);
+}
+
+TEST(RingCache, MissReturnsNullopt) {
+  Rng rng(1);
+  RingCache ring(base_ring(), 40, 5, 16, 64, rng);
+  EXPECT_FALSE(ring.arrival_time(blk(7), 0, 0).has_value());
+}
+
+TEST(RingCache, FullChannelReplaces) {
+  Rng rng(1);
+  RingCache ring(base_ring(), 40, 5, 16, 64, rng);
+  // Blocks 0, 128, 256, 384 all map to channel 0.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_FALSE(ring.insert(blk(i * 128), 0).has_value());
+  }
+  auto evicted = ring.insert(blk(512), 10);
+  ASSERT_TRUE(evicted.has_value());
+  std::set<Addr> originals{blk(0), blk(128), blk(256), blk(384)};
+  EXPECT_TRUE(originals.count(*evicted));
+  EXPECT_FALSE(ring.contains(*evicted));
+  EXPECT_TRUE(ring.contains(blk(512)));
+  EXPECT_EQ(ring.replacements(), 1u);
+}
+
+TEST(RingCache, LruPolicyEvictsColdest) {
+  Rng rng(1);
+  RingConfig cfg = base_ring();
+  cfg.replacement = RingReplacement::kLru;
+  RingCache ring(cfg, 40, 5, 16, 64, rng);
+  for (int i = 0; i < 4; ++i) ring.insert(blk(i * 128), i);
+  ring.touch(blk(0), 100);
+  ring.touch(blk(128), 101);
+  ring.touch(blk(384), 102);
+  auto evicted = ring.insert(blk(512), 200);
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(*evicted, blk(256));
+}
+
+TEST(RingCache, LfuPolicyEvictsLeastUsed) {
+  Rng rng(1);
+  RingConfig cfg = base_ring();
+  cfg.replacement = RingReplacement::kLfu;
+  RingCache ring(cfg, 40, 5, 16, 64, rng);
+  for (int i = 0; i < 4; ++i) ring.insert(blk(i * 128), i);
+  for (int k = 0; k < 5; ++k) ring.touch(blk(0), 10 + k);
+  ring.touch(blk(128), 20);
+  ring.touch(blk(256), 21);
+  // blk(384) has only its insertion use.
+  auto evicted = ring.insert(blk(512), 200);
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(*evicted, blk(384));
+}
+
+TEST(RingCache, FifoPolicyEvictsOldestInsert) {
+  Rng rng(1);
+  RingConfig cfg = base_ring();
+  cfg.replacement = RingReplacement::kFifo;
+  RingCache ring(cfg, 40, 5, 16, 64, rng);
+  for (int i = 0; i < 4; ++i) ring.insert(blk(i * 128), i);
+  ring.touch(blk(0), 1000);  // recency is irrelevant to FIFO
+  auto evicted = ring.insert(blk(512), 200);
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(*evicted, blk(0));
+}
+
+TEST(RingCache, DirectMappedForcesSlot) {
+  Rng rng(1);
+  RingConfig cfg = base_ring();
+  cfg.associativity = RingAssociativity::kDirectMapped;
+  RingCache ring(cfg, 40, 5, 16, 64, rng);
+  // Blocks 0 and 512 both map to channel 0 slot 0; 128 maps to slot 1.
+  ring.insert(blk(0), 0);
+  ring.insert(blk(128), 0);
+  auto evicted = ring.insert(blk(512), 1);
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(*evicted, blk(0));
+  EXPECT_TRUE(ring.contains(blk(128)));
+}
+
+TEST(RingCache, ReinsertRefreshesInsteadOfDuplicating) {
+  Rng rng(1);
+  RingCache ring(base_ring(), 40, 5, 16, 64, rng);
+  ring.insert(blk(3), 0);
+  EXPECT_FALSE(ring.insert(blk(3), 50).has_value());
+  EXPECT_EQ(ring.insertions(), 1u);
+}
+
+TEST(RingCache, RefreshDelaysAvailability) {
+  Rng rng(1);
+  RingCache ring(base_ring(), 40, 5, 16, 64, rng);
+  ring.insert(blk(0), 0);
+  EXPECT_TRUE(ring.refresh(blk(0), 100));
+  auto a = ring.arrival_time(blk(0), 0, 50);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_GE(*a, 100);
+  EXPECT_FALSE(ring.refresh(blk(9999 * 64), 100));
+}
+
+TEST(RingCache, SizeScalingViaChannels) {
+  // Figure 8's cache sizes: 64 / 128 / 256 channels = 16/32/64 KB.
+  for (int ch : {64, 128, 256}) {
+    RingConfig cfg = base_ring();
+    cfg.channels = ch;
+    EXPECT_EQ(cfg.capacity_bytes(), ch * 4 * 64);
+  }
+}
+
+}  // namespace
+}  // namespace netcache::net

@@ -1,0 +1,73 @@
+#include "src/common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace netcache {
+namespace {
+
+TEST(NodeStats, AddAccumulatesAndMaxesFinishTime) {
+  NodeStats a;
+  a.reads = 10;
+  a.l1_hits = 5;
+  a.finish_time = 100;
+  a.sync_cycles = 7;
+  NodeStats b;
+  b.reads = 3;
+  b.l1_hits = 1;
+  b.finish_time = 250;
+  b.sync_cycles = 2;
+  a.add(b);
+  EXPECT_EQ(a.reads, 13u);
+  EXPECT_EQ(a.l1_hits, 6u);
+  EXPECT_EQ(a.finish_time, 250);
+  EXPECT_EQ(a.sync_cycles, 9);
+}
+
+TEST(MachineStats, RunTimeIsLatestFinish) {
+  MachineStats s(4);
+  for (int n = 0; n < 4; ++n) s.node(n).finish_time = (n + 1) * 10;
+  EXPECT_EQ(s.run_time(), 40);
+}
+
+TEST(MachineStats, SharedCacheHitRate) {
+  MachineStats s(2);
+  s.node(0).shared_cache_hits = 30;
+  s.node(0).shared_cache_misses = 10;
+  s.node(1).shared_cache_hits = 10;
+  s.node(1).shared_cache_misses = 50;
+  EXPECT_DOUBLE_EQ(s.shared_cache_hit_rate(), 0.4);
+}
+
+TEST(MachineStats, HitRateZeroWhenNoProbes) {
+  MachineStats s(2);
+  EXPECT_DOUBLE_EQ(s.shared_cache_hit_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(s.avg_read_latency(), 0.0);
+  EXPECT_DOUBLE_EQ(s.avg_l2_miss_latency(), 0.0);
+}
+
+TEST(MachineStats, AvgReadLatency) {
+  MachineStats s(1);
+  s.node(0).reads = 4;
+  s.node(0).read_cycles = 100;
+  EXPECT_DOUBLE_EQ(s.avg_read_latency(), 25.0);
+}
+
+TEST(MachineStats, ReadLatencyFraction) {
+  MachineStats s(2);
+  s.node(0).finish_time = 100;
+  s.node(1).finish_time = 100;
+  s.node(0).read_cycles = 50;
+  s.node(1).read_cycles = 30;
+  EXPECT_DOUBLE_EQ(s.read_latency_fraction(), 0.4);
+}
+
+TEST(MachineStats, SyncFraction) {
+  MachineStats s(2);
+  s.node(0).finish_time = 200;
+  s.node(1).finish_time = 100;
+  s.node(0).sync_cycles = 100;
+  EXPECT_DOUBLE_EQ(s.sync_fraction(), 0.25);
+}
+
+}  // namespace
+}  // namespace netcache

@@ -1,0 +1,97 @@
+#include "src/sim/task.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/sim/engine.hpp"
+
+namespace netcache::sim {
+namespace {
+
+TEST(Task, ReturnsValueThroughAwait) {
+  Engine eng;
+  auto leaf = []() -> Task<int> { co_return 7; };
+  int got = 0;
+  auto root = [&]() -> Task<void> { got = co_await leaf(); };
+  eng.spawn(root());
+  eng.run();
+  EXPECT_EQ(got, 7);
+}
+
+TEST(Task, LazyUntilAwaited) {
+  Engine eng;
+  bool ran = false;
+  auto leaf = [&]() -> Task<void> {
+    ran = true;
+    co_return;
+  };
+  {
+    Task<void> t = leaf();
+    EXPECT_FALSE(ran);  // not started; destroyed unrun
+  }
+  EXPECT_FALSE(ran);
+}
+
+TEST(Task, DeepNestingChainsValues) {
+  Engine eng;
+  // Recursion depth 50, each level adds 1 and burns a cycle.
+  struct Rec {
+    Engine* eng;
+    Task<int> count(int depth) {
+      if (depth == 0) co_return 0;
+      co_await eng->delay(1);
+      int below = co_await count(depth - 1);
+      co_return below + 1;
+    }
+  };
+  Rec rec{&eng};
+  int got = 0;
+  auto root = [&]() -> Task<void> { got = co_await rec.count(50); };
+  eng.spawn(root());
+  Cycles end = eng.run();
+  EXPECT_EQ(got, 50);
+  EXPECT_EQ(end, 50);
+}
+
+TEST(Task, MoveTransfersOwnership) {
+  Engine eng;
+  auto leaf = []() -> Task<int> { co_return 3; };
+  Task<int> a = leaf();
+  Task<int> b = std::move(a);
+  EXPECT_FALSE(a.valid());
+  EXPECT_TRUE(b.valid());
+  int got = 0;
+  auto root = [&](Task<int> t) -> Task<void> { got = co_await std::move(t); };
+  eng.spawn(root(std::move(b)));
+  eng.run();
+  EXPECT_EQ(got, 3);
+}
+
+TEST(Task, DetachedTasksCompleteIndependently) {
+  Engine eng;
+  int completions = 0;
+  auto worker = [&](Cycles d) -> Task<void> {
+    co_await eng.delay(d);
+    ++completions;
+  };
+  for (int i = 0; i < 10; ++i) eng.spawn(worker(i));
+  eng.run();
+  EXPECT_EQ(completions, 10);
+}
+
+TEST(Task, SequentialAwaitsAccumulateTime) {
+  Engine eng;
+  auto step = [&]() -> Task<void> { co_await eng.delay(5); };
+  Cycles end_time = -1;
+  auto root = [&]() -> Task<void> {
+    co_await step();
+    co_await step();
+    co_await step();
+    end_time = eng.now();
+  };
+  eng.spawn(root());
+  eng.run();
+  EXPECT_EQ(end_time, 15);
+}
+
+}  // namespace
+}  // namespace netcache::sim

@@ -1,0 +1,118 @@
+#include "src/sim/tdma.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/engine.hpp"
+
+namespace netcache::sim {
+namespace {
+
+TEST(TdmaChannel, TransmitsInOwnSlot) {
+  Engine eng;
+  TdmaChannel ch(eng, 16, 1);
+  // Station 3's slot starts at times t == 3 (mod 16). From t=0 the message
+  // completes at 3 + 1 = 4.
+  Cycles done = -1;
+  auto tx = [&]() -> Task<void> {
+    co_await ch.transmit(3);
+    done = eng.now();
+  };
+  eng.spawn(tx());
+  eng.run();
+  EXPECT_EQ(done, 4);
+}
+
+TEST(TdmaChannel, WrapsAroundTheFrame) {
+  Engine eng;
+  TdmaChannel ch(eng, 16, 1);
+  Cycles done = -1;
+  auto tx = [&]() -> Task<void> {
+    co_await eng.delay(5);  // just past station 3's slot
+    co_await ch.transmit(3);
+    done = eng.now();
+  };
+  eng.spawn(tx());
+  eng.run();
+  EXPECT_EQ(done, 16 + 3 + 1);
+}
+
+TEST(TdmaChannel, BackToBackMessagesUseConsecutiveFrames) {
+  Engine eng;
+  TdmaChannel ch(eng, 4, 1);
+  std::vector<Cycles> times;
+  auto tx = [&]() -> Task<void> {
+    co_await ch.transmit(1);
+    times.push_back(eng.now());
+    co_await ch.transmit(1);
+    times.push_back(eng.now());
+  };
+  eng.spawn(tx());
+  eng.run();
+  EXPECT_EQ(times, (std::vector<Cycles>{2, 6}));  // slots at 1 and 5
+}
+
+TEST(TdmaChannel, DifferentStationsNeverCollide) {
+  Engine eng;
+  TdmaChannel ch(eng, 4, 1);
+  std::vector<Cycles> times(4);
+  auto tx = [&](NodeId who) -> Task<void> {
+    co_await ch.transmit(who);
+    times[static_cast<size_t>(who)] = eng.now();
+  };
+  for (NodeId n = 0; n < 4; ++n) eng.spawn(tx(n));
+  eng.run();
+  EXPECT_EQ(times, (std::vector<Cycles>{1, 2, 3, 4}));
+}
+
+TEST(TdmaChannel, AverageWaitIsHalfFrame) {
+  // Over all arrival phases 0..15 the mean wait-to-slot-start is 7.5.
+  Engine eng;
+  TdmaChannel ch(eng, 16, 1);
+  Cycles total = 0;
+  auto tx = [&](Cycles arrive) -> Task<void> {
+    co_await eng.delay(arrive);
+    Cycles t0 = eng.now();
+    co_await ch.transmit(0);
+    total += eng.now() - t0 - 1;  // subtract the slot itself
+  };
+  // Space arrivals one frame + 1 apart so each starts at a distinct phase.
+  for (int i = 0; i < 16; ++i) eng.spawn(tx(i * 17));
+  eng.run();
+  EXPECT_EQ(total, 120);  // 0+1+...+15
+}
+
+TEST(VarSlotTdma, WaitsForTurnThenHoldsMedium) {
+  Engine eng;
+  VarSlotTdma ch(eng, 8, 2);
+  Cycles done = -1;
+  auto tx = [&]() -> Task<void> {
+    co_await ch.transmit(2, 8);  // turn at t=4, then 8 cycles of message
+    done = eng.now();
+  };
+  eng.spawn(tx());
+  eng.run();
+  EXPECT_EQ(done, 4 + 8);
+}
+
+TEST(VarSlotTdma, ContendersQueueOnTheMedium) {
+  Engine eng;
+  VarSlotTdma ch(eng, 4, 2);
+  std::vector<Cycles> done;
+  auto tx = [&](int member) -> Task<void> {
+    co_await ch.transmit(member, 10);
+    done.push_back(eng.now());
+  };
+  eng.spawn(tx(0));
+  eng.spawn(tx(0));
+  eng.run();
+  ASSERT_EQ(done.size(), 2u);
+  // First transmits [0,10); second waited for its next nominal turn and the
+  // medium, finishing 10 cycles after the first.
+  EXPECT_EQ(done[0], 10);
+  EXPECT_EQ(done[1], 20);
+}
+
+}  // namespace
+}  // namespace netcache::sim
