@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_blocksize.dir/bench_ablation_blocksize.cpp.o"
+  "CMakeFiles/bench_ablation_blocksize.dir/bench_ablation_blocksize.cpp.o.d"
+  "CMakeFiles/bench_ablation_blocksize.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_ablation_blocksize.dir/bench_common.cpp.o.d"
+  "bench_ablation_blocksize"
+  "bench_ablation_blocksize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_blocksize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_prefetch.dir/bench_ablation_prefetch.cpp.o"
+  "CMakeFiles/bench_ablation_prefetch.dir/bench_ablation_prefetch.cpp.o.d"
+  "CMakeFiles/bench_ablation_prefetch.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_ablation_prefetch.dir/bench_common.cpp.o.d"
+  "bench_ablation_prefetch"
+  "bench_ablation_prefetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_read_start.dir/bench_ablation_read_start.cpp.o"
+  "CMakeFiles/bench_ablation_read_start.dir/bench_ablation_read_start.cpp.o.d"
+  "CMakeFiles/bench_ablation_read_start.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_ablation_read_start.dir/bench_common.cpp.o.d"
+  "bench_ablation_read_start"
+  "bench_ablation_read_start.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_read_start.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_sharing.dir/bench_ablation_sharing.cpp.o"
+  "CMakeFiles/bench_ablation_sharing.dir/bench_ablation_sharing.cpp.o.d"
+  "CMakeFiles/bench_ablation_sharing.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_ablation_sharing.dir/bench_common.cpp.o.d"
+  "bench_ablation_sharing"
+  "bench_ablation_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_disk_cache.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_ext_disk_cache.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_ext_disk_cache.dir/bench_ext_disk_cache.cpp.o"
+  "CMakeFiles/bench_ext_disk_cache.dir/bench_ext_disk_cache.cpp.o.d"
+  "bench_ext_disk_cache"
+  "bench_ext_disk_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_disk_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_runtime_sizes.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_fig10_runtime_sizes.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_fig10_runtime_sizes.dir/bench_fig10_runtime_sizes.cpp.o"
+  "CMakeFiles/bench_fig10_runtime_sizes.dir/bench_fig10_runtime_sizes.cpp.o.d"
+  "bench_fig10_runtime_sizes"
+  "bench_fig10_runtime_sizes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_runtime_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_assoc.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_fig11_assoc.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_fig11_assoc.dir/bench_fig11_assoc.cpp.o"
+  "CMakeFiles/bench_fig11_assoc.dir/bench_fig11_assoc.cpp.o.d"
+  "bench_fig11_assoc"
+  "bench_fig11_assoc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_assoc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

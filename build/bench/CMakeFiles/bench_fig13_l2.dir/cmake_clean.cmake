@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_l2.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_fig13_l2.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_fig13_l2.dir/bench_fig13_l2.cpp.o"
+  "CMakeFiles/bench_fig13_l2.dir/bench_fig13_l2.cpp.o.d"
+  "bench_fig13_l2"
+  "bench_fig13_l2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_l2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

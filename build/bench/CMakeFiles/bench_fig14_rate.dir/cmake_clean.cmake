@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_rate.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_fig14_rate.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_fig14_rate.dir/bench_fig14_rate.cpp.o"
+  "CMakeFiles/bench_fig14_rate.dir/bench_fig14_rate.cpp.o.d"
+  "bench_fig14_rate"
+  "bench_fig14_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

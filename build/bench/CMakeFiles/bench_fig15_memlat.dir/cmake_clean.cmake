@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_memlat.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_fig15_memlat.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_fig15_memlat.dir/bench_fig15_memlat.cpp.o"
+  "CMakeFiles/bench_fig15_memlat.dir/bench_fig15_memlat.cpp.o.d"
+  "bench_fig15_memlat"
+  "bench_fig15_memlat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_memlat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_caching.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_fig7_caching.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_fig7_caching.dir/bench_fig7_caching.cpp.o"
+  "CMakeFiles/bench_fig7_caching.dir/bench_fig7_caching.cpp.o.d"
+  "bench_fig7_caching"
+  "bench_fig7_caching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_caching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_readlat.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_fig9_readlat.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_fig9_readlat.dir/bench_fig9_readlat.cpp.o"
+  "CMakeFiles/bench_fig9_readlat.dir/bench_fig9_readlat.cpp.o.d"
+  "bench_fig9_readlat"
+  "bench_fig9_readlat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_readlat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

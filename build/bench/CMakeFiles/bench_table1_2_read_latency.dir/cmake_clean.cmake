@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_2_read_latency.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_table1_2_read_latency.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_table1_2_read_latency.dir/bench_table1_2_read_latency.cpp.o"
+  "CMakeFiles/bench_table1_2_read_latency.dir/bench_table1_2_read_latency.cpp.o.d"
+  "bench_table1_2_read_latency"
+  "bench_table1_2_read_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_2_read_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

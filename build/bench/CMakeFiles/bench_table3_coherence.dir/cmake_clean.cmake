@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_coherence.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_table3_coherence.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_table3_coherence.dir/bench_table3_coherence.cpp.o"
+  "CMakeFiles/bench_table3_coherence.dir/bench_table3_coherence.cpp.o.d"
+  "bench_table3_coherence"
+  "bench_table3_coherence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_coherence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_workloads.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_table4_workloads.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_table4_workloads.dir/bench_table4_workloads.cpp.o"
+  "CMakeFiles/bench_table4_workloads.dir/bench_table4_workloads.cpp.o.d"
+  "bench_table4_workloads"
+  "bench_table4_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

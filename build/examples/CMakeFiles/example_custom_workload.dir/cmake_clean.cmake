@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_custom_workload.dir/custom_workload.cpp.o"
+  "CMakeFiles/example_custom_workload.dir/custom_workload.cpp.o.d"
+  "example_custom_workload"
+  "example_custom_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_custom_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_disk_cache.dir/disk_cache.cpp.o"
+  "CMakeFiles/example_disk_cache.dir/disk_cache.cpp.o.d"
+  "example_disk_cache"
+  "example_disk_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_disk_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

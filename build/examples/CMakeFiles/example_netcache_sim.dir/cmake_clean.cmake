@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_netcache_sim.dir/netcache_sim.cpp.o"
+  "CMakeFiles/example_netcache_sim.dir/netcache_sim.cpp.o.d"
+  "example_netcache_sim"
+  "example_netcache_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_netcache_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_netcache_sim.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_parameter_study.dir/parameter_study.cpp.o"
+  "CMakeFiles/example_parameter_study.dir/parameter_study.cpp.o.d"
+  "example_parameter_study"
+  "example_parameter_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_parameter_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

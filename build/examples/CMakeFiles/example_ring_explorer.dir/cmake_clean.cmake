@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_ring_explorer.dir/ring_explorer.cpp.o"
+  "CMakeFiles/example_ring_explorer.dir/ring_explorer.cpp.o.d"
+  "example_ring_explorer"
+  "example_ring_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_ring_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,57 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/cg.cpp" "src/CMakeFiles/netcache.dir/apps/cg.cpp.o" "gcc" "src/CMakeFiles/netcache.dir/apps/cg.cpp.o.d"
+  "/root/repo/src/apps/em3d.cpp" "src/CMakeFiles/netcache.dir/apps/em3d.cpp.o" "gcc" "src/CMakeFiles/netcache.dir/apps/em3d.cpp.o.d"
+  "/root/repo/src/apps/fft.cpp" "src/CMakeFiles/netcache.dir/apps/fft.cpp.o" "gcc" "src/CMakeFiles/netcache.dir/apps/fft.cpp.o.d"
+  "/root/repo/src/apps/gauss.cpp" "src/CMakeFiles/netcache.dir/apps/gauss.cpp.o" "gcc" "src/CMakeFiles/netcache.dir/apps/gauss.cpp.o.d"
+  "/root/repo/src/apps/lu.cpp" "src/CMakeFiles/netcache.dir/apps/lu.cpp.o" "gcc" "src/CMakeFiles/netcache.dir/apps/lu.cpp.o.d"
+  "/root/repo/src/apps/mg.cpp" "src/CMakeFiles/netcache.dir/apps/mg.cpp.o" "gcc" "src/CMakeFiles/netcache.dir/apps/mg.cpp.o.d"
+  "/root/repo/src/apps/ocean.cpp" "src/CMakeFiles/netcache.dir/apps/ocean.cpp.o" "gcc" "src/CMakeFiles/netcache.dir/apps/ocean.cpp.o.d"
+  "/root/repo/src/apps/radix.cpp" "src/CMakeFiles/netcache.dir/apps/radix.cpp.o" "gcc" "src/CMakeFiles/netcache.dir/apps/radix.cpp.o.d"
+  "/root/repo/src/apps/raytrace.cpp" "src/CMakeFiles/netcache.dir/apps/raytrace.cpp.o" "gcc" "src/CMakeFiles/netcache.dir/apps/raytrace.cpp.o.d"
+  "/root/repo/src/apps/sor.cpp" "src/CMakeFiles/netcache.dir/apps/sor.cpp.o" "gcc" "src/CMakeFiles/netcache.dir/apps/sor.cpp.o.d"
+  "/root/repo/src/apps/synthetic.cpp" "src/CMakeFiles/netcache.dir/apps/synthetic.cpp.o" "gcc" "src/CMakeFiles/netcache.dir/apps/synthetic.cpp.o.d"
+  "/root/repo/src/apps/trace.cpp" "src/CMakeFiles/netcache.dir/apps/trace.cpp.o" "gcc" "src/CMakeFiles/netcache.dir/apps/trace.cpp.o.d"
+  "/root/repo/src/apps/water.cpp" "src/CMakeFiles/netcache.dir/apps/water.cpp.o" "gcc" "src/CMakeFiles/netcache.dir/apps/water.cpp.o.d"
+  "/root/repo/src/apps/wf.cpp" "src/CMakeFiles/netcache.dir/apps/wf.cpp.o" "gcc" "src/CMakeFiles/netcache.dir/apps/wf.cpp.o.d"
+  "/root/repo/src/apps/workload.cpp" "src/CMakeFiles/netcache.dir/apps/workload.cpp.o" "gcc" "src/CMakeFiles/netcache.dir/apps/workload.cpp.o.d"
+  "/root/repo/src/cache/cache.cpp" "src/CMakeFiles/netcache.dir/cache/cache.cpp.o" "gcc" "src/CMakeFiles/netcache.dir/cache/cache.cpp.o.d"
+  "/root/repo/src/cache/replacement.cpp" "src/CMakeFiles/netcache.dir/cache/replacement.cpp.o" "gcc" "src/CMakeFiles/netcache.dir/cache/replacement.cpp.o.d"
+  "/root/repo/src/cache/write_buffer.cpp" "src/CMakeFiles/netcache.dir/cache/write_buffer.cpp.o" "gcc" "src/CMakeFiles/netcache.dir/cache/write_buffer.cpp.o.d"
+  "/root/repo/src/common/config.cpp" "src/CMakeFiles/netcache.dir/common/config.cpp.o" "gcc" "src/CMakeFiles/netcache.dir/common/config.cpp.o.d"
+  "/root/repo/src/common/stats.cpp" "src/CMakeFiles/netcache.dir/common/stats.cpp.o" "gcc" "src/CMakeFiles/netcache.dir/common/stats.cpp.o.d"
+  "/root/repo/src/core/address_space.cpp" "src/CMakeFiles/netcache.dir/core/address_space.cpp.o" "gcc" "src/CMakeFiles/netcache.dir/core/address_space.cpp.o.d"
+  "/root/repo/src/core/cpu.cpp" "src/CMakeFiles/netcache.dir/core/cpu.cpp.o" "gcc" "src/CMakeFiles/netcache.dir/core/cpu.cpp.o.d"
+  "/root/repo/src/core/machine.cpp" "src/CMakeFiles/netcache.dir/core/machine.cpp.o" "gcc" "src/CMakeFiles/netcache.dir/core/machine.cpp.o.d"
+  "/root/repo/src/core/node.cpp" "src/CMakeFiles/netcache.dir/core/node.cpp.o" "gcc" "src/CMakeFiles/netcache.dir/core/node.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/CMakeFiles/netcache.dir/core/report.cpp.o" "gcc" "src/CMakeFiles/netcache.dir/core/report.cpp.o.d"
+  "/root/repo/src/core/run_summary.cpp" "src/CMakeFiles/netcache.dir/core/run_summary.cpp.o" "gcc" "src/CMakeFiles/netcache.dir/core/run_summary.cpp.o.d"
+  "/root/repo/src/core/sync.cpp" "src/CMakeFiles/netcache.dir/core/sync.cpp.o" "gcc" "src/CMakeFiles/netcache.dir/core/sync.cpp.o.d"
+  "/root/repo/src/memory/memory_module.cpp" "src/CMakeFiles/netcache.dir/memory/memory_module.cpp.o" "gcc" "src/CMakeFiles/netcache.dir/memory/memory_module.cpp.o.d"
+  "/root/repo/src/net/dmon/dmon_fabric.cpp" "src/CMakeFiles/netcache.dir/net/dmon/dmon_fabric.cpp.o" "gcc" "src/CMakeFiles/netcache.dir/net/dmon/dmon_fabric.cpp.o.d"
+  "/root/repo/src/net/dmon/dmon_update_net.cpp" "src/CMakeFiles/netcache.dir/net/dmon/dmon_update_net.cpp.o" "gcc" "src/CMakeFiles/netcache.dir/net/dmon/dmon_update_net.cpp.o.d"
+  "/root/repo/src/net/dmon/ispeed_net.cpp" "src/CMakeFiles/netcache.dir/net/dmon/ispeed_net.cpp.o" "gcc" "src/CMakeFiles/netcache.dir/net/dmon/ispeed_net.cpp.o.d"
+  "/root/repo/src/net/lambdanet/lambdanet_net.cpp" "src/CMakeFiles/netcache.dir/net/lambdanet/lambdanet_net.cpp.o" "gcc" "src/CMakeFiles/netcache.dir/net/lambdanet/lambdanet_net.cpp.o.d"
+  "/root/repo/src/net/netcache/netcache_net.cpp" "src/CMakeFiles/netcache.dir/net/netcache/netcache_net.cpp.o" "gcc" "src/CMakeFiles/netcache.dir/net/netcache/netcache_net.cpp.o.d"
+  "/root/repo/src/net/netcache/ring_cache.cpp" "src/CMakeFiles/netcache.dir/net/netcache/ring_cache.cpp.o" "gcc" "src/CMakeFiles/netcache.dir/net/netcache/ring_cache.cpp.o.d"
+  "/root/repo/src/netdisk/disk_cache.cpp" "src/CMakeFiles/netcache.dir/netdisk/disk_cache.cpp.o" "gcc" "src/CMakeFiles/netcache.dir/netdisk/disk_cache.cpp.o.d"
+  "/root/repo/src/sim/engine.cpp" "src/CMakeFiles/netcache.dir/sim/engine.cpp.o" "gcc" "src/CMakeFiles/netcache.dir/sim/engine.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/CMakeFiles/netcache.dir/sim/event_queue.cpp.o" "gcc" "src/CMakeFiles/netcache.dir/sim/event_queue.cpp.o.d"
+  "/root/repo/src/sim/resource.cpp" "src/CMakeFiles/netcache.dir/sim/resource.cpp.o" "gcc" "src/CMakeFiles/netcache.dir/sim/resource.cpp.o.d"
+  "/root/repo/src/sim/tdma.cpp" "src/CMakeFiles/netcache.dir/sim/tdma.cpp.o" "gcc" "src/CMakeFiles/netcache.dir/sim/tdma.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

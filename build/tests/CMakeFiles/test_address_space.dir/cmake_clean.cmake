@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_address_space.dir/test_address_space.cpp.o"
+  "CMakeFiles/test_address_space.dir/test_address_space.cpp.o.d"
+  "test_address_space"
+  "test_address_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_address_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apps_paper_props.dir/test_apps_paper_props.cpp.o"
+  "CMakeFiles/test_apps_paper_props.dir/test_apps_paper_props.cpp.o.d"
+  "test_apps_paper_props"
+  "test_apps_paper_props.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apps_paper_props.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bench_table.dir/__/bench/bench_common.cpp.o"
+  "CMakeFiles/test_bench_table.dir/__/bench/bench_common.cpp.o.d"
+  "CMakeFiles/test_bench_table.dir/test_bench_table.cpp.o"
+  "CMakeFiles/test_bench_table.dir/test_bench_table.cpp.o.d"
+  "test_bench_table"
+  "test_bench_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bench_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

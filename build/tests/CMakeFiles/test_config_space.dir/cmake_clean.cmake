@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_config_space.dir/test_config_space.cpp.o"
+  "CMakeFiles/test_config_space.dir/test_config_space.cpp.o.d"
+  "test_config_space"
+  "test_config_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_config_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

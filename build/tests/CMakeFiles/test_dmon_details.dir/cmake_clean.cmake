@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dmon_details.dir/test_dmon_details.cpp.o"
+  "CMakeFiles/test_dmon_details.dir/test_dmon_details.cpp.o.d"
+  "test_dmon_details"
+  "test_dmon_details.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dmon_details.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

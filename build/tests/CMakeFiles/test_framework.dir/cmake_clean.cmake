@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_framework.dir/test_framework.cpp.o"
+  "CMakeFiles/test_framework.dir/test_framework.cpp.o.d"
+  "test_framework"
+  "test_framework.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_framework.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

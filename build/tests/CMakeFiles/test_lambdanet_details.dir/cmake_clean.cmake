@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lambdanet_details.dir/test_lambdanet_details.cpp.o"
+  "CMakeFiles/test_lambdanet_details.dir/test_lambdanet_details.cpp.o.d"
+  "test_lambdanet_details"
+  "test_lambdanet_details.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lambdanet_details.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_latency_tables.dir/test_latency_tables.cpp.o"
+  "CMakeFiles/test_latency_tables.dir/test_latency_tables.cpp.o.d"
+  "test_latency_tables"
+  "test_latency_tables.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_latency_tables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

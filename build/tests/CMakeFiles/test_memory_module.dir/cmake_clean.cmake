@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_memory_module.dir/test_memory_module.cpp.o"
+  "CMakeFiles/test_memory_module.dir/test_memory_module.cpp.o.d"
+  "test_memory_module"
+  "test_memory_module.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_memory_module.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model_based.dir/test_model_based.cpp.o"
+  "CMakeFiles/test_model_based.dir/test_model_based.cpp.o.d"
+  "test_model_based"
+  "test_model_based.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model_based.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_netcache_details.dir/test_netcache_details.cpp.o"
+  "CMakeFiles/test_netcache_details.dir/test_netcache_details.cpp.o.d"
+  "test_netcache_details"
+  "test_netcache_details.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_netcache_details.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_replacement.dir/test_replacement.cpp.o"
+  "CMakeFiles/test_replacement.dir/test_replacement.cpp.o.d"
+  "test_replacement"
+  "test_replacement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_replacement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_resource.
+# This may be replaced when dependencies are built.

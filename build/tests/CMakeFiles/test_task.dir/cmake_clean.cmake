@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_task.dir/test_task.cpp.o"
+  "CMakeFiles/test_task.dir/test_task.cpp.o.d"
+  "test_task"
+  "test_task.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_task.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

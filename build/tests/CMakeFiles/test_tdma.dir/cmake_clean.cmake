@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tdma.dir/test_tdma.cpp.o"
+  "CMakeFiles/test_tdma.dir/test_tdma.cpp.o.d"
+  "test_tdma"
+  "test_tdma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tdma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

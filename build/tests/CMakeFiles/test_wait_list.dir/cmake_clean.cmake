@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wait_list.dir/test_wait_list.cpp.o"
+  "CMakeFiles/test_wait_list.dir/test_wait_list.cpp.o.d"
+  "test_wait_list"
+  "test_wait_list.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wait_list.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

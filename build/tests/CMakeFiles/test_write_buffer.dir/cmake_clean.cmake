@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_write_buffer.dir/test_write_buffer.cpp.o"
+  "CMakeFiles/test_write_buffer.dir/test_write_buffer.cpp.o.d"
+  "test_write_buffer"
+  "test_write_buffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_write_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
