@@ -2,10 +2,18 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 
 namespace netcache::bench {
+
+namespace {
+// Engine totals across every simulate() call in this binary, reported after
+// the tables so each bench run surfaces event-core throughput.
+std::uint64_t g_total_events = 0;
+double g_total_engine_seconds = 0.0;
+}  // namespace
 
 core::RunSummary simulate(const std::string& app, SystemKind system,
                           const SimOptions& opts) {
@@ -19,6 +27,8 @@ core::RunSummary simulate(const std::string& app, SystemKind system,
   params.paper_size = opts.paper_size;
   auto workload = apps::make_workload(app, params);
   core::RunSummary s = machine.run(*workload);
+  g_total_events += s.events;
+  g_total_engine_seconds += s.wall_seconds;
   if (!s.verified) {
     std::fprintf(stderr, "FATAL: %s failed verification on %s\n",
                  app.c_str(), to_string(system));
@@ -104,6 +114,12 @@ int bench_main(int argc, char** argv,
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   for (const Table* t : tables) t->print();
+  if (g_total_engine_seconds > 0) {
+    std::printf("\nengine: %llu events in %.3f s  (%.3g events/s)\n",
+                static_cast<unsigned long long>(g_total_events),
+                g_total_engine_seconds,
+                static_cast<double>(g_total_events) / g_total_engine_seconds);
+  }
   if (const char* dir = std::getenv("NETCACHE_BENCH_CSV_DIR")) {
     for (const Table* t : tables) t->write_csv_to(dir);
   }

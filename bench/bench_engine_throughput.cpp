@@ -1,0 +1,192 @@
+// Engine event-core throughput microbenchmark.
+//
+// Measures raw discrete-event throughput (events/sec) for three workloads
+// that bracket the engine's usage in the paper reproduction:
+//   - pure_delay:           co_await delay() chains, no contention (the
+//                           schedule_resume fast path), with a slice of
+//                           far-future delays to exercise the overflow path
+//   - resource_contention:  FIFO Resource acquire/release handoffs (the
+//                           zero-delay resume path)
+//   - full_app:             sor on NetCache, 16 nodes (the real workload mix)
+//
+// Emits BENCH_engine.json (override path with NETCACHE_BENCH_ENGINE_JSON) so
+// the event-core perf trajectory is tracked PR over PR. The baseline block
+// holds the numbers measured on the pre-rewrite std::function +
+// std::priority_queue core (same machine, same workloads) for comparison.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench/bench_common.hpp"
+#include "src/sim/engine.hpp"
+#include "src/sim/resource.hpp"
+#include "src/sim/task.hpp"
+
+namespace netcache::bench {
+namespace {
+
+struct Measurement {
+  std::uint64_t events = 0;
+  double seconds = 0.0;
+  double events_per_sec() const { return seconds > 0 ? events / seconds : 0; }
+};
+
+// Reference numbers for the pre-rewrite event core (std::function events in a
+// std::priority_queue, malloc'd coroutine frames), measured with this same
+// binary before the allocation-free core landed. Kept so every future run of
+// this bench reports its speedup against the original implementation.
+constexpr double kBaselinePureDelayEps = 6.24e6;
+constexpr double kBaselineResourceEps = 14.5e6;
+constexpr double kBaselineFullAppEps = 4.04e6;
+
+Measurement g_pure_delay;
+Measurement g_resource;
+Measurement g_full_app;
+
+class WallTimer {
+ public:
+  WallTimer() : t0_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point t0_;
+};
+
+Measurement run_pure_delay() {
+  sim::Engine eng;
+  constexpr int kProcs = 2048;
+  constexpr int kSteps = 256;
+  auto proc = [&eng](int id) -> sim::Task<void> {
+    for (int s = 0; s < kSteps; ++s) {
+      // Mostly short delays; every 16th step jumps far ahead so the queue
+      // also sees far-future scheduling.
+      Cycles d = (s % 16 == 15) ? 10000 + (id % 31) * 100
+                                : 1 + (id * 7 + s * 13) % 50;
+      co_await eng.delay(d);
+    }
+  };
+  for (int i = 0; i < kProcs; ++i) eng.spawn(proc(i));
+  WallTimer t;
+  eng.run();
+  return {eng.events_executed(), t.seconds()};
+}
+
+Measurement run_resource_contention() {
+  sim::Engine eng;
+  constexpr int kProcs = 512;
+  constexpr int kSteps = 256;
+  sim::Resource port(eng);
+  auto proc = [&](int id) -> sim::Task<void> {
+    for (int s = 0; s < kSteps; ++s) {
+      co_await port.use(2);
+      co_await eng.delay(1 + id % 7);
+    }
+  };
+  for (int i = 0; i < kProcs; ++i) eng.spawn(proc(i));
+  WallTimer t;
+  eng.run();
+  return {eng.events_executed(), t.seconds()};
+}
+
+Measurement run_full_app() {
+  WallTimer t;
+  core::RunSummary s = simulate("sor", SystemKind::kNetCache, {});
+  return {s.events, t.seconds()};
+}
+
+void BM_PureDelay(benchmark::State& state) {
+  for (auto _ : state) {
+    Measurement m = run_pure_delay();
+    g_pure_delay.events += m.events;
+    g_pure_delay.seconds += m.seconds;
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<std::int64_t>(m.events));
+  }
+}
+BENCHMARK(BM_PureDelay)->Unit(benchmark::kMillisecond);
+
+void BM_ResourceContention(benchmark::State& state) {
+  for (auto _ : state) {
+    Measurement m = run_resource_contention();
+    g_resource.events += m.events;
+    g_resource.seconds += m.seconds;
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<std::int64_t>(m.events));
+  }
+}
+BENCHMARK(BM_ResourceContention)->Unit(benchmark::kMillisecond);
+
+void BM_FullApp(benchmark::State& state) {
+  for (auto _ : state) {
+    Measurement m = run_full_app();
+    g_full_app.events += m.events;
+    g_full_app.seconds += m.seconds;
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<std::int64_t>(m.events));
+  }
+}
+BENCHMARK(BM_FullApp)->Unit(benchmark::kMillisecond);
+
+void write_json(const char* path) {
+  std::FILE* f = std::fopen(path, "w");
+  if (!f) {
+    std::fprintf(stderr, "bench_engine_throughput: cannot write %s\n", path);
+    return;
+  }
+  auto emit = [&](const char* name, const Measurement& m, double baseline_eps,
+                  const char* trailing_comma) {
+    std::fprintf(f,
+                 "    \"%s\": {\"events\": %llu, \"seconds\": %.4f, "
+                 "\"events_per_sec\": %.4g, \"baseline_events_per_sec\": "
+                 "%.4g, \"speedup_vs_baseline\": %.2f}%s\n",
+                 name, static_cast<unsigned long long>(m.events), m.seconds,
+                 m.events_per_sec(), baseline_eps,
+                 baseline_eps > 0 ? m.events_per_sec() / baseline_eps : 0.0,
+                 trailing_comma);
+  };
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"benchmark\": \"bench_engine_throughput\",\n");
+  std::fprintf(f, "  \"unit\": \"events/sec\",\n");
+  std::fprintf(f,
+               "  \"baseline\": \"std::function events + std::priority_queue"
+               " + malloc'd coroutine frames (pre allocation-free core)\",\n");
+  std::fprintf(f, "  \"workloads\": {\n");
+  emit("pure_delay", g_pure_delay, kBaselinePureDelayEps, ",");
+  emit("resource_contention", g_resource, kBaselineResourceEps, ",");
+  emit("full_app", g_full_app, kBaselineFullAppEps, "");
+  std::fprintf(f, "  }\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path);
+}
+
+void print_summary() {
+  std::printf("\n== engine event-core throughput (events/sec) ==\n");
+  auto line = [](const char* name, const Measurement& m, double base) {
+    std::printf("%-20s %12.3g ev/s  (baseline %9.3g, speedup %.2fx)\n", name,
+                m.events_per_sec(), base,
+                base > 0 ? m.events_per_sec() / base : 0.0);
+  };
+  line("pure_delay", g_pure_delay, kBaselinePureDelayEps);
+  line("resource_contention", g_resource, kBaselineResourceEps);
+  line("full_app", g_full_app, kBaselineFullAppEps);
+}
+
+}  // namespace
+}  // namespace netcache::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  netcache::bench::print_summary();
+  const char* path = std::getenv("NETCACHE_BENCH_ENGINE_JSON");
+  netcache::bench::write_json(path ? path : "BENCH_engine.json");
+  return 0;
+}

@@ -29,6 +29,7 @@ int main(int argc, char** argv) {
     auto workload = apps::make_workload(app);
     core::RunSummary s = machine.run(*workload);
     std::printf("%s\n", core::format_summary(s).c_str());
+    std::printf("  %s\n", core::format_throughput(s).c_str());
     if (!s.verified) return 1;
   }
   return 0;

@@ -1,5 +1,7 @@
 #include "src/core/machine.hpp"
 
+#include <chrono>
+
 #include "src/apps/workload.hpp"
 #include "src/common/nc_assert.hpp"
 #include "src/net/dmon/dmon_update_net.hpp"
@@ -81,7 +83,11 @@ RunSummary Machine::run(apps::Workload& workload) {
   for (NodeId n = 0; n < config_.nodes; ++n) {
     engine_.spawn(worker(workload, n));
   }
+  auto wall0 = std::chrono::steady_clock::now();
   engine_.run();
+  double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0)
+          .count();
 
   RunSummary s;
   s.system = interconnect_->name();
@@ -98,6 +104,7 @@ RunSummary Machine::run(apps::Workload& workload) {
   s.read_latency_p90 = s.totals.read_latency_hist.quantile(0.90);
   s.read_latency_p99 = s.totals.read_latency_hist.quantile(0.99);
   s.events = engine_.events_executed();
+  s.wall_seconds = wall_seconds;
   s.verified = workload.verify();
   return s;
 }

@@ -41,6 +41,7 @@ std::string detailed_report(const MachineConfig& config,
   append(out, "\n\nrun time: %lld pcycles  (verified: %s)\n",
          static_cast<long long>(summary.run_time),
          summary.verified ? "yes" : "NO");
+  append(out, "%s\n", format_throughput(summary).c_str());
 
   append(out, "\n%4s %10s %8s %8s %8s %8s %8s %9s %8s\n", "node", "reads",
          "l1%", "l2%", "miss", "shcHit%", "updates", "syncCyc", "finish");

@@ -16,4 +16,14 @@ std::string format_summary(const RunSummary& s) {
   return buf;
 }
 
+std::string format_throughput(const RunSummary& s) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "engine: %llu events in %.3f s  (%.3g events/s, "
+                "%.3g sim-cycles/s)",
+                static_cast<unsigned long long>(s.events), s.wall_seconds,
+                s.events_per_sec(), s.sim_cycles_per_sec());
+  return buf;
+}
+
 }  // namespace netcache::core

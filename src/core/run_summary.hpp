@@ -33,9 +33,24 @@ struct RunSummary {
   Cycles read_latency_p99 = 0;
 
   std::uint64_t events = 0;
+
+  // Engine throughput (wall-clock observability; not part of the simulated
+  // results, so determinism comparisons should ignore these).
+  double wall_seconds = 0.0;
+  double events_per_sec() const {
+    return wall_seconds > 0 ? static_cast<double>(events) / wall_seconds : 0;
+  }
+  double sim_cycles_per_sec() const {
+    return wall_seconds > 0 ? static_cast<double>(run_time) / wall_seconds : 0;
+  }
 };
 
 /// One-line human-readable summary.
 std::string format_summary(const RunSummary& s);
+
+/// One-line engine-throughput summary ("engine: ..."): events executed,
+/// wall-clock seconds, events/sec and simulated cycles/sec. Kept separate
+/// from format_summary so bit-identical output comparisons can filter it.
+std::string format_throughput(const RunSummary& s);
 
 }  // namespace netcache::core

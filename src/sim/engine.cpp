@@ -1,30 +1,18 @@
 #include "src/sim/engine.hpp"
 
-#include <utility>
-
-#include "src/common/nc_assert.hpp"
-
 namespace netcache::sim {
 
-void Engine::schedule(Cycles delay, EventQueue::Action action) {
-  NC_ASSERT(delay >= 0, "cannot schedule into the past");
-  queue_.push(now_ + delay, std::move(action));
-}
-
-void Engine::schedule_resume(Cycles delay, std::coroutine_handle<> h) {
-  schedule(delay, [h] { h.resume(); });
-}
-
 void Engine::spawn(Task<void> t, Cycles delay) {
-  auto h = t.release_detached();
-  schedule(delay, [h] { h.resume(); });
+  // Direct-handle scheduling: the detached frame resumes straight from the
+  // event record, no closure.
+  schedule_resume(delay, t.release_detached());
 }
 
 Cycles Engine::run() {
   while (!queue_.empty()) {
-    now_ = queue_.next_time();
-    auto action = queue_.pop();
-    action();
+    Event ev = queue_.pop();
+    now_ = ev.time;
+    ev.fire();
     ++events_executed_;
   }
   return now_;

@@ -5,6 +5,7 @@
 #include <coroutine>
 #include <cstdint>
 
+#include "src/common/nc_assert.hpp"
 #include "src/common/types.hpp"
 #include "src/sim/event_queue.hpp"
 #include "src/sim/task.hpp"
@@ -20,11 +21,20 @@ class Engine {
   /// Current virtual time in pcycles.
   Cycles now() const { return now_; }
 
-  /// Schedules `action` to run at now() + delay.
-  void schedule(Cycles delay, EventQueue::Action action);
+  /// Schedules `action` (any callable) to run at now() + delay. The callable
+  /// is stored inline in the event record; prefer schedule_resume when the
+  /// action is just resuming a coroutine.
+  template <typename F>
+  void schedule(Cycles delay, F&& action) {
+    NC_ASSERT(delay >= 0, "cannot schedule into the past");
+    queue_.push(now_ + delay, std::forward<F>(action));
+  }
 
-  /// Schedules `h.resume()` at now() + delay.
-  void schedule_resume(Cycles delay, std::coroutine_handle<> h);
+  /// Fast path: schedules `h.resume()` at now() + delay with no closure.
+  void schedule_resume(Cycles delay, std::coroutine_handle<> h) {
+    NC_ASSERT(delay >= 0, "cannot schedule into the past");
+    queue_.push_resume(now_ + delay, h);
+  }
 
   /// Detaches `t` as an independent process starting at now() + delay.
   /// The coroutine frame self-destroys on completion.

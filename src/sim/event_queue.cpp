@@ -1,27 +1,138 @@
 #include "src/sim/event_queue.hpp"
 
-#include <utility>
+#include <algorithm>
+#include <bit>
 
 #include "src/common/nc_assert.hpp"
 
 namespace netcache::sim {
 
-void EventQueue::push(Cycles time, Action action) {
-  heap_.push(Event{time, next_seq_++, std::move(action)});
+namespace {
+
+constexpr std::size_t kMask = EventQueue::kWheelSize - 1;
+
+/// Heap comparator: true when `a` fires after `b` (min-heap on (time, seq)).
+struct Later {
+  bool operator()(const Event& a, const Event& b) const {
+    if (a.time != b.time) return a.time > b.time;
+    return a.seq > b.seq;
+  }
+};
+
+}  // namespace
+
+EventQueue::EventQueue()
+    : wheel_(kWheelSize), heads_(kWheelSize, 0) {}
+
+void EventQueue::insert(Event&& e) {
+  if (size_ == 0) {
+    // Empty queue: the cursor can snap anywhere, no events constrain it.
+    cursor_ = e.time;
+  } else if (e.time < cursor_) {
+    rebuild(e.time);
+  }
+  place(std::move(e));
+  ++size_;
+}
+
+void EventQueue::place(Event&& e) {
+  NC_ASSERT(e.time >= cursor_, "event below cursor");
+  if (e.time - cursor_ < static_cast<Cycles>(kWheelSize)) {
+    std::size_t idx = static_cast<std::size_t>(e.time) & kMask;
+    wheel_[idx].push_back(std::move(e));
+    occupied_[idx >> 6] |= std::uint64_t{1} << (idx & 63);
+  } else {
+    overflow_.push_back(std::move(e));
+    std::push_heap(overflow_.begin(), overflow_.end(), Later{});
+  }
+}
+
+void EventQueue::rebuild(Cycles new_cursor) {
+  std::vector<Event> pending;
+  pending.reserve(size_ - overflow_.size());
+  for (std::size_t w = 0; w < kWheelSize / 64; ++w) {
+    std::uint64_t bits = occupied_[w];
+    while (bits) {
+      std::size_t idx = (w << 6) + static_cast<std::size_t>(
+                                       std::countr_zero(bits));
+      bits &= bits - 1;
+      auto& bucket = wheel_[idx];
+      for (std::size_t i = heads_[idx]; i < bucket.size(); ++i) {
+        pending.push_back(std::move(bucket[i]));
+      }
+      bucket.clear();
+      heads_[idx] = 0;
+    }
+    occupied_[w] = 0;
+  }
+  cursor_ = new_cursor;
+  for (auto& e : pending) place(std::move(e));
+}
+
+Cycles EventQueue::wheel_next_time() const {
+  std::size_t start = static_cast<std::size_t>(cursor_) & kMask;
+  std::size_t w0 = start >> 6;
+  // First word: only bits at/after the cursor's slot belong to this lap.
+  std::uint64_t first = occupied_[w0] & (~std::uint64_t{0} << (start & 63));
+  for (std::size_t step = 0; step <= kWheelSize / 64; ++step) {
+    std::size_t w = (w0 + step) & ((kWheelSize / 64) - 1);
+    std::uint64_t bits = (step == 0) ? first
+                         : (step == kWheelSize / 64)
+                             ? occupied_[w] & ~(~std::uint64_t{0} << (start & 63))
+                             : occupied_[w];
+    if (bits) {
+      std::size_t idx = (w << 6) +
+                        static_cast<std::size_t>(std::countr_zero(bits));
+      return cursor_ + static_cast<Cycles>((idx - start) & kMask);
+    }
+  }
+  return -1;
 }
 
 Cycles EventQueue::next_time() const {
-  NC_ASSERT(!heap_.empty(), "next_time on empty queue");
-  return heap_.top().time;
+  NC_ASSERT(size_ > 0, "next_time on empty queue");
+  Cycles tw = wheel_next_time();
+  if (overflow_.empty()) return tw;
+  Cycles to = overflow_.front().time;
+  return (tw < 0 || to < tw) ? to : tw;
 }
 
-EventQueue::Action EventQueue::pop() {
-  NC_ASSERT(!heap_.empty(), "pop on empty queue");
-  // priority_queue::top() is const; the action must be moved out, so we
-  // const_cast the single mutation the container cannot express.
-  Action a = std::move(const_cast<Event&>(heap_.top()).action);
-  heap_.pop();
-  return a;
+Event EventQueue::pop() {
+  NC_ASSERT(size_ > 0, "pop on empty queue");
+  Cycles tw = wheel_next_time();
+  bool from_wheel;
+  if (tw < 0) {
+    from_wheel = false;
+  } else if (overflow_.empty() || tw < overflow_.front().time) {
+    from_wheel = true;
+  } else if (overflow_.front().time < tw) {
+    from_wheel = false;
+  } else {
+    // Same instant in both structures: the smaller insertion seq fires first.
+    std::size_t idx = static_cast<std::size_t>(tw) & kMask;
+    from_wheel = wheel_[idx][heads_[idx]].seq < overflow_.front().seq;
+  }
+
+  Event e;
+  if (from_wheel) {
+    std::size_t idx = static_cast<std::size_t>(tw) & kMask;
+    auto& bucket = wheel_[idx];
+    e = std::move(bucket[heads_[idx]++]);
+    if (heads_[idx] == bucket.size()) {
+      bucket.clear();
+      heads_[idx] = 0;
+      occupied_[idx >> 6] &= ~(std::uint64_t{1} << (idx & 63));
+    }
+  } else {
+    std::pop_heap(overflow_.begin(), overflow_.end(), Later{});
+    e = std::move(overflow_.back());
+    overflow_.pop_back();
+  }
+  // The popped event is the global minimum, so every remaining event is at or
+  // after it: the cursor may advance, widening the wheel horizon.
+  cursor_ = e.time;
+  --size_;
+  return e;
 }
 
 }  // namespace netcache::sim

@@ -1,44 +1,207 @@
 // Time-ordered event queue for the discrete-event engine.
+//
+// Allocation-free in steady state:
+//  - Events are tagged records, not std::function. The dominant event kind —
+//    "resume this coroutine" — stores a raw coroutine handle. The rare
+//    genuine-callback case stores the callable in a small inline buffer
+//    (callables bigger than the buffer are boxed once on the heap).
+//  - The queue is a hierarchical timing wheel: events within kWheelSize
+//    cycles of the cursor go into a power-of-two ring of FIFO buckets
+//    (O(1) push/pop); far-future events go to a small overflow min-heap and
+//    are merged back by (time, seq) when the cursor reaches them.
+//
+// Determinism contract (same as the old priority-queue implementation):
+// events fire in (time, insertion-order) order, regardless of which internal
+// structure held them.
 #pragma once
 
+#include <coroutine>
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "src/common/types.hpp"
 
 namespace netcache::sim {
 
-/// A min-heap of (time, insertion-sequence, action). Ties in time break by
-/// insertion order, which keeps the simulation deterministic.
+/// One scheduled event: either a coroutine to resume (common case, a raw
+/// handle — no allocation, no indirection) or an arbitrary callable held in
+/// inline storage. Movable, fire-once.
+class Event {
+ public:
+  static constexpr std::size_t kInlineBytes = 40;
+
+  Event() = default;
+
+  Event(Event&& o) noexcept : time(o.time), seq(o.seq), ops_(o.ops_) {
+    if (ops_) {
+      ops_->relocate(storage_, o.storage_);
+    } else {
+      handle_ = o.handle_;
+    }
+    o.ops_ = nullptr;
+    o.handle_ = nullptr;
+  }
+
+  Event& operator=(Event&& o) noexcept {
+    if (this != &o) {
+      reset();
+      time = o.time;
+      seq = o.seq;
+      ops_ = o.ops_;
+      if (ops_) {
+        ops_->relocate(storage_, o.storage_);
+      } else {
+        handle_ = o.handle_;
+      }
+      o.ops_ = nullptr;
+      o.handle_ = nullptr;
+    }
+    return *this;
+  }
+
+  Event(const Event&) = delete;
+  Event& operator=(const Event&) = delete;
+  ~Event() { reset(); }
+
+  static Event make_resume(Cycles time, std::uint64_t seq,
+                           std::coroutine_handle<> h) {
+    Event e;
+    e.time = time;
+    e.seq = seq;
+    e.handle_ = h.address();
+    return e;
+  }
+
+  template <typename F>
+  static Event make_callback(Cycles time, std::uint64_t seq, F&& f) {
+    using Fn = std::decay_t<F>;
+    Event e;
+    e.time = time;
+    e.seq = seq;
+    if constexpr (sizeof(Fn) <= kInlineBytes &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(e.storage_)) Fn(std::forward<F>(f));
+      e.ops_ = &ops_for<Fn>;
+    } else {
+      // Oversized/overaligned callable: box it once; the box pointer fits.
+      auto box = std::make_unique<Fn>(std::forward<F>(f));
+      auto thunk = [p = std::move(box)] { (*p)(); };
+      using Thunk = decltype(thunk);
+      static_assert(sizeof(Thunk) <= kInlineBytes);
+      ::new (static_cast<void*>(e.storage_)) Thunk(std::move(thunk));
+      e.ops_ = &ops_for<Thunk>;
+    }
+    return e;
+  }
+
+  /// Runs the event. Consumes it: afterwards the Event is empty.
+  void fire() {
+    if (ops_) {
+      const Ops* ops = std::exchange(ops_, nullptr);
+      ops->invoke(storage_);  // invoke destroys the callable when done
+    } else if (handle_) {
+      void* h = std::exchange(handle_, nullptr);
+      std::coroutine_handle<>::from_address(h).resume();
+    }
+  }
+
+  bool is_resume() const { return ops_ == nullptr && handle_ != nullptr; }
+
+  Cycles time = 0;
+  std::uint64_t seq = 0;
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);                 // call, then destroy in place
+    void (*relocate)(void*, void*) noexcept;  // move-construct dst, destroy src
+    void (*destroy)(void*) noexcept;
+  };
+
+  template <typename Fn>
+  static constexpr Ops ops_for = {
+      [](void* p) {
+        Fn* f = std::launder(reinterpret_cast<Fn*>(p));
+        Fn local(std::move(*f));
+        f->~Fn();
+        local();
+      },
+      [](void* dst, void* src) noexcept {
+        Fn* s = std::launder(reinterpret_cast<Fn*>(src));
+        ::new (dst) Fn(std::move(*s));
+        s->~Fn();
+      },
+      [](void* p) noexcept { std::launder(reinterpret_cast<Fn*>(p))->~Fn(); },
+  };
+
+  void reset() {
+    if (ops_) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+    handle_ = nullptr;
+  }
+
+  const Ops* ops_ = nullptr;  // null: resume-or-empty; set: inline callback
+  union {
+    void* handle_;  // resume case: coroutine_handle address
+    alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
+  };
+};
+
+/// Hierarchical timing wheel with far-future overflow heap. Ties in time
+/// break by insertion order, which keeps the simulation deterministic.
 class EventQueue {
  public:
-  using Action = std::function<void()>;
+  EventQueue();
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
 
-  void push(Cycles time, Action action);
-  bool empty() const { return heap_.empty(); }
-  std::size_t size() const { return heap_.size(); }
+  /// Near-future horizon: events within [cursor, cursor + kWheelSize) live in
+  /// O(1) ring buckets; anything further sits in the overflow heap until the
+  /// cursor approaches.
+  static constexpr std::size_t kWheelBits = 12;
+  static constexpr std::size_t kWheelSize = std::size_t{1} << kWheelBits;
+
+  template <typename F>
+  void push(Cycles time, F&& action) {
+    insert(Event::make_callback(time, next_seq_++, std::forward<F>(action)));
+  }
+
+  /// Fast path: schedule a bare coroutine resume; no closure is built.
+  void push_resume(Cycles time, std::coroutine_handle<> h) {
+    insert(Event::make_resume(time, next_seq_++, h));
+  }
+
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
 
   /// Time of the earliest pending event. Undefined when empty.
   Cycles next_time() const;
 
-  /// Removes and returns the earliest event's action.
-  Action pop();
+  /// Removes and returns the earliest event (FIFO among same-time events).
+  Event pop();
 
  private:
-  struct Event {
-    Cycles time;
-    std::uint64_t seq;
-    Action action;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
-  };
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  void insert(Event&& e);
+  void place(Event&& e);
+  /// Re-buckets every wheel event relative to a lower cursor. Only reachable
+  /// by pushing a time below the cursor, which the engine never does (its
+  /// clock is monotone); unit tests may.
+  void rebuild(Cycles new_cursor);
+  /// Earliest occupied wheel slot time, or -1 if the wheel is empty.
+  Cycles wheel_next_time() const;
+
+  std::vector<std::vector<Event>> wheel_;  // kWheelSize FIFO buckets
+  std::vector<std::uint32_t> heads_;       // consumed prefix per bucket
+  std::uint64_t occupied_[kWheelSize / 64] = {};
+  std::vector<Event> overflow_;  // min-heap by (time, seq)
+  Cycles cursor_ = 0;            // all pending events have time >= cursor_
+  std::size_t size_ = 0;
   std::uint64_t next_seq_ = 0;
 };
 

@@ -14,7 +14,7 @@ void Resource::release() {
   // at the current instant.
   auto h = waiters_.front();
   waiters_.pop_front();
-  engine_->schedule(0, [h] { h.resume(); });
+  engine_->schedule_resume(0, h);
 }
 
 Task<void> Resource::use(Cycles service) {

@@ -12,12 +12,22 @@
 #include <utility>
 
 #include "src/common/nc_assert.hpp"
+#include "src/sim/frame_arena.hpp"
 
 namespace netcache::sim {
 
 namespace detail {
 
 struct PromiseBase {
+  // Coroutine frames recycle through the thread-local arena instead of
+  // malloc; the frame-per-await hot path is allocation-free once warm.
+  static void* operator new(std::size_t n) {
+    return FrameArena::local().allocate(n);
+  }
+  static void operator delete(void* p) noexcept {
+    FrameArena::local().deallocate(p);
+  }
+
   std::coroutine_handle<> continuation;
   bool detached = false;
 

@@ -28,7 +28,7 @@ class WaitList {
   void notify_all(Engine& engine) {
     if (waiters_.empty()) return;
     for (auto h : waiters_) {
-      engine.schedule(0, [h] { h.resume(); });
+      engine.schedule_resume(0, h);
     }
     waiters_.clear();
   }

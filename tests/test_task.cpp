@@ -78,6 +78,45 @@ TEST(Task, DetachedTasksCompleteIndependently) {
   EXPECT_EQ(completions, 10);
 }
 
+TEST(Task, FrameArenaRecyclesFramesWithoutDoubleDestroy) {
+  // Millions of short-lived frames must recycle through the thread-local
+  // arena: after warm-up, new frames come from the free lists (reuses grow,
+  // fresh allocations don't), every frame is destroyed exactly once (live
+  // count returns to its pre-run level), and recycled frames still produce
+  // correct values.
+  FrameArena& arena = FrameArena::local();
+  Engine eng;
+  auto leaf = [&](int i) -> Task<int> {
+    co_await eng.delay(1);
+    co_return i * 2;
+  };
+  long long sum = 0;
+  auto root = [&]() -> Task<void> {
+    for (int i = 0; i < 1000; ++i) sum += co_await leaf(i);
+  };
+
+  // Warm-up: populate the free lists.
+  eng.spawn(root());
+  eng.run();
+  std::uint64_t live_before = arena.live();
+  std::uint64_t fresh_before = arena.fresh_allocations();
+  std::uint64_t reuse_before = arena.reuses();
+
+  sum = 0;
+  auto again = [&]() -> Task<void> {
+    for (int i = 0; i < 1000; ++i) sum += co_await leaf(i);
+  };
+  eng.spawn(again());
+  eng.run();
+
+  EXPECT_EQ(sum, 2LL * (999 * 1000 / 2));
+  // Steady state: the 1000 leaf frames were served from the free lists.
+  EXPECT_GT(arena.reuses(), reuse_before + 900);
+  EXPECT_LE(arena.fresh_allocations(), fresh_before + 2);
+  // No double-destroy / leak: every frame allocated was freed again.
+  EXPECT_EQ(arena.live(), live_before);
+}
+
 TEST(Task, SequentialAwaitsAccumulateTime) {
   Engine eng;
   auto step = [&]() -> Task<void> { co_await eng.delay(5); };
