@@ -26,7 +26,7 @@ core::RunSummary simulate(const std::string& app, SystemKind system,
   params.scale = opts.scale;
   params.paper_size = opts.paper_size;
   auto workload = apps::make_workload(app, params);
-  core::RunSummary s = machine.run(*workload);
+  core::RunSummary s = machine.run(*workload, opts.limits);
   g_total_events += s.events;
   g_total_engine_seconds += s.wall_seconds;
   if (!s.verified) {

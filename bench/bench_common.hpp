@@ -21,6 +21,9 @@ struct SimOptions {
   bool paper_size = false;
   /// Final say on the machine configuration (L2 size, rate, ring, ...).
   std::function<void(MachineConfig&)> tweak;
+  /// Watchdog budgets for the run; a regression that deadlocks or livelocks
+  /// a benchmark workload fails fast with a report instead of hanging CI.
+  sim::RunLimits limits;
 };
 
 /// Builds a machine, runs `app` on it, and returns the summary. Aborts if

@@ -13,6 +13,7 @@
 #include "src/apps/synthetic.hpp"
 #include "src/apps/trace.hpp"
 #include "src/apps/workload.hpp"
+#include "src/common/sim_error.hpp"
 #include "src/core/machine.hpp"
 #include "src/core/report.hpp"
 
@@ -73,6 +74,26 @@ bool parse_flag(const char* arg, const char* name, std::string* out) {
   return false;
 }
 
+// Strict numeric parsing: "--nodes=abc" or "--nodes=" is a ConfigError, not
+// a silent atoi() zero that validate() may or may not catch later.
+long long parse_int(const char* key, const std::string& v) {
+  char* end = nullptr;
+  long long n = std::strtoll(v.c_str(), &end, 10);
+  if (v.empty() || end == nullptr || *end != '\0') {
+    throw ConfigError(key, v, "expected an integer");
+  }
+  return n;
+}
+
+double parse_double(const char* key, const std::string& v) {
+  char* end = nullptr;
+  double d = std::strtod(v.c_str(), &end);
+  if (v.empty() || end == nullptr || *end != '\0') {
+    throw ConfigError(key, v, "expected a number");
+  }
+  return d;
+}
+
 bool parse(int argc, char** argv, Options* opt) {
   for (int i = 1; i < argc; ++i) {
     std::string v;
@@ -85,12 +106,12 @@ bool parse(int argc, char** argv, Options* opt) {
     if (parse_flag(a, "--app", &v)) { opt->app = v; continue; }
     if (parse_flag(a, "--trace", &v)) { opt->trace_path = v; continue; }
     if (parse_flag(a, "--synthetic", &v)) { opt->synthetic = v; continue; }
-    if (parse_flag(a, "--nodes", &v)) { opt->nodes = std::atoi(v.c_str()); continue; }
-    if (parse_flag(a, "--scale", &v)) { opt->scale = std::atof(v.c_str()); continue; }
-    if (parse_flag(a, "--l2-kb", &v)) { opt->l2_kb = std::atoi(v.c_str()); continue; }
-    if (parse_flag(a, "--channels", &v)) { opt->channels = std::atoi(v.c_str()); continue; }
-    if (parse_flag(a, "--gbps", &v)) { opt->gbps = std::atof(v.c_str()); continue; }
-    if (parse_flag(a, "--mem", &v)) { opt->mem = std::atoll(v.c_str()); continue; }
+    if (parse_flag(a, "--nodes", &v)) { opt->nodes = static_cast<int>(parse_int("nodes", v)); continue; }
+    if (parse_flag(a, "--scale", &v)) { opt->scale = parse_double("scale", v); continue; }
+    if (parse_flag(a, "--l2-kb", &v)) { opt->l2_kb = static_cast<int>(parse_int("l2-kb", v)); continue; }
+    if (parse_flag(a, "--channels", &v)) { opt->channels = static_cast<int>(parse_int("channels", v)); continue; }
+    if (parse_flag(a, "--gbps", &v)) { opt->gbps = parse_double("gbps", v); continue; }
+    if (parse_flag(a, "--mem", &v)) { opt->mem = parse_int("mem", v); continue; }
     if (parse_flag(a, "--system", &v)) {
       if (v == "netcache") opt->system = SystemKind::kNetCache;
       else if (v == "netcache-noring") opt->system = SystemKind::kNetCacheNoRing;
@@ -122,7 +143,7 @@ bool parse(int argc, char** argv, Options* opt) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   Options opt;
   if (!parse(argc, argv, &opt)) {
     usage();
@@ -164,4 +185,9 @@ int main(int argc, char** argv) {
     std::printf("%s\n", core::format_summary(summary).c_str());
   }
   return summary.verified ? 0 : 1;
+} catch (const netcache::SimError& e) {
+  // Bad configuration or a diagnosed simulation failure (deadlock/watchdog):
+  // structured message, nonzero exit, no core dump.
+  std::fprintf(stderr, "netcache_sim: %s\n", e.what());
+  return 1;
 }

@@ -54,9 +54,9 @@ class WriteBuffer {
   int capacity_;
   int block_bytes_;
   std::deque<WriteEntry> entries_;
-  sim::WaitList space_waiters_;  // processor stalled on full buffer
-  sim::WaitList data_waiters_;   // drainer waiting for work
-  sim::WaitList idle_waiters_;   // release fences waiting for empty+quiet
+  sim::WaitList space_waiters_{"WriteBuffer.space"};  // stalled on full buffer
+  sim::WaitList data_waiters_{"WriteBuffer.data"};    // drainer awaiting work
+  sim::WaitList idle_waiters_{"WriteBuffer.idle"};    // fences awaiting empty
 };
 
 }  // namespace netcache::cache

@@ -1,8 +1,9 @@
 #include "src/common/config.hpp"
 
 #include <cmath>
+#include <string>
 
-#include "src/common/nc_assert.hpp"
+#include "src/common/sim_error.hpp"
 
 namespace netcache {
 
@@ -35,27 +36,51 @@ const char* to_string(RingAssociativity assoc) {
   return "?";
 }
 
+namespace {
+
+// Rejection helper: every bad knob reports its key and value so CLI drivers
+// and sweep harnesses can print exactly what to fix and exit nonzero.
+template <typename T>
+void reject_unless(bool ok, const char* key, T value, const char* why) {
+  if (!ok) throw ConfigError(key, std::to_string(value), why);
+}
+
+}  // namespace
+
 void MachineConfig::validate() const {
-  NC_ASSERT(nodes > 0, "need at least one node");
-  NC_ASSERT(is_pow2(static_cast<std::uint64_t>(l1.block_bytes)) &&
-                is_pow2(static_cast<std::uint64_t>(l2.block_bytes)),
-            "cache block sizes must be powers of two");
-  NC_ASSERT(l2.block_bytes % l1.block_bytes == 0,
-            "L2 block must be a multiple of the L1 block");
-  NC_ASSERT(l1.size_bytes % (l1.block_bytes * l1.associativity) == 0,
-            "L1 geometry does not divide evenly");
-  NC_ASSERT(l2.size_bytes % (l2.block_bytes * l2.associativity) == 0,
-            "L2 geometry does not divide evenly");
-  NC_ASSERT(write_buffer_entries > 0, "write buffer cannot be empty");
-  NC_ASSERT(gbit_per_s > 0.0, "transmission rate must be positive");
-  NC_ASSERT(ring.block_bytes >= l2.block_bytes &&
-                ring.block_bytes % l2.block_bytes == 0 &&
-                is_pow2(static_cast<std::uint64_t>(ring.block_bytes)),
-            "shared cache line must be a power-of-two multiple of the L2 "
-            "block (the paper studies 64 and 128 bytes, Section 5.3.2)");
+  reject_unless(nodes > 0, "nodes", nodes, "need at least one node");
+  reject_unless(is_pow2(static_cast<std::uint64_t>(l1.block_bytes)),
+                "l1.block_bytes", l1.block_bytes,
+                "cache block sizes must be powers of two");
+  reject_unless(is_pow2(static_cast<std::uint64_t>(l2.block_bytes)),
+                "l2.block_bytes", l2.block_bytes,
+                "cache block sizes must be powers of two");
+  reject_unless(l2.block_bytes % l1.block_bytes == 0, "l2.block_bytes",
+                l2.block_bytes, "L2 block must be a multiple of the L1 block");
+  reject_unless(l1.size_bytes % (l1.block_bytes * l1.associativity) == 0,
+                "l1.size_bytes", l1.size_bytes,
+                "L1 geometry does not divide evenly");
+  reject_unless(l2.size_bytes % (l2.block_bytes * l2.associativity) == 0,
+                "l2.size_bytes", l2.size_bytes,
+                "L2 geometry does not divide evenly");
+  reject_unless(write_buffer_entries > 0, "write_buffer_entries",
+                write_buffer_entries, "write buffer cannot be empty");
+  reject_unless(gbit_per_s > 0.0, "gbit_per_s", gbit_per_s,
+                "transmission rate must be positive");
+  reject_unless(ring.block_bytes >= l2.block_bytes &&
+                    ring.block_bytes % l2.block_bytes == 0 &&
+                    is_pow2(static_cast<std::uint64_t>(ring.block_bytes)),
+                "ring.block_bytes", ring.block_bytes,
+                "shared cache line must be a power-of-two multiple of the L2 "
+                "block (the paper studies 64 and 128 bytes, Section 5.3.2)");
+  reject_unless(ring.channels > 0, "ring.channels", ring.channels,
+                "ring needs at least one cache channel");
+  reject_unless(ring.blocks_per_channel > 0, "ring.blocks_per_channel",
+                ring.blocks_per_channel,
+                "each cache channel stores at least one block");
   if (system == SystemKind::kNetCache) {
-    NC_ASSERT(ring.channels % nodes == 0,
-              "cache channels must divide evenly among home nodes");
+    reject_unless(ring.channels % nodes == 0, "ring.channels", ring.channels,
+                  "cache channels must divide evenly among home nodes");
   }
 }
 

@@ -98,7 +98,8 @@ struct MachineConfig {
 
   std::uint64_t seed = 0x9E3779B97F4A7C15ull;
 
-  /// Aborts with a message if the configuration is inconsistent.
+  /// Throws ConfigError (naming the offending key and value) if the
+  /// configuration is inconsistent or out of range.
   void validate() const;
 };
 

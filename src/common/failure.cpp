@@ -1,0 +1,67 @@
+#include "src/common/failure.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <vector>
+
+#include "src/common/nc_assert.hpp"
+
+namespace netcache {
+
+namespace {
+
+// Registry storage lives behind a mutex so concurrent engines (the planned
+// multi-config sweep runs one engine per worker thread) can register and
+// unregister safely.
+std::mutex& registry_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::vector<const FailureContext*>& registry() {
+  static std::vector<const FailureContext*> r;
+  return r;
+}
+
+}  // namespace
+
+FailureReporter& FailureReporter::instance() {
+  static FailureReporter reporter;
+  return reporter;
+}
+
+void FailureReporter::add(const FailureContext* ctx) {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  registry().push_back(ctx);
+}
+
+void FailureReporter::remove(const FailureContext* ctx) {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  auto& r = registry();
+  r.erase(std::remove(r.begin(), r.end(), ctx), r.end());
+}
+
+std::string FailureReporter::gather() const {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  std::string out;
+  for (const FailureContext* ctx : registry()) {
+    ctx->describe_failure_context(out);
+  }
+  return out;
+}
+
+void nc_assert_fail(const char* file, int line, const char* expr,
+                    const char* msg) {
+  std::fprintf(stderr, "NC_ASSERT failed at %s:%d: %s — %s\n", file, line,
+               expr, msg);
+  std::string context = FailureReporter::instance().gather();
+  if (!context.empty()) {
+    std::fprintf(stderr, "%s", context.c_str());
+  }
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace netcache

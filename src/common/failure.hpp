@@ -1,0 +1,35 @@
+// Failure reporting: every fatal path (NC_ASSERT, NC_FATAL) funnels through
+// the FailureReporter, which appends context from all registered providers —
+// live simulation engines describe their virtual time, executed-event count,
+// blocked-task table, and event-trace tail — so an abort deep inside a
+// protocol model comes with enough state to diagnose it without a debugger.
+#pragma once
+
+#include <string>
+
+namespace netcache {
+
+/// Something that can describe its state when the process is about to fail.
+/// Engines implement this and register for their lifetime.
+class FailureContext {
+ public:
+  virtual ~FailureContext() = default;
+  /// Appends a human-readable description of current state to `out`.
+  virtual void describe_failure_context(std::string& out) const = 0;
+};
+
+class FailureReporter {
+ public:
+  static FailureReporter& instance();
+
+  void add(const FailureContext* ctx);
+  void remove(const FailureContext* ctx);
+
+  /// Concatenates every registered provider's context description.
+  std::string gather() const;
+
+ private:
+  FailureReporter() = default;
+};
+
+}  // namespace netcache

@@ -1,15 +1,25 @@
-// Always-on assertion macro: simulator invariants are cheap relative to the
+// Always-on assertion macros: simulator invariants are cheap relative to the
 // work they guard, so they stay enabled in release builds.
+//
+// Failure routes through netcache::nc_assert_fail (src/common/failure.cpp),
+// which prints the assertion plus every registered FailureContext — live
+// engines dump their virtual time, event count, blocked-task table, and
+// trace-ring tail — before aborting. Use NC_ASSERT for invariants; NC_FATAL
+// for unconditional unreachable/corrupt-state paths. For errors the caller
+// should handle (bad config, malformed input), throw SimError instead.
 #pragma once
 
-#include <cstdio>
-#include <cstdlib>
+namespace netcache {
+[[noreturn]] void nc_assert_fail(const char* file, int line, const char* expr,
+                                 const char* msg);
+}  // namespace netcache
 
-#define NC_ASSERT(cond, msg)                                              \
-  do {                                                                    \
-    if (!(cond)) {                                                        \
-      std::fprintf(stderr, "NC_ASSERT failed at %s:%d: %s — %s\n",        \
-                   __FILE__, __LINE__, #cond, msg);                       \
-      std::abort();                                                       \
-    }                                                                     \
+#define NC_ASSERT(cond, msg)                                       \
+  do {                                                             \
+    if (!(cond)) {                                                 \
+      ::netcache::nc_assert_fail(__FILE__, __LINE__, #cond, msg);  \
+    }                                                              \
   } while (0)
+
+#define NC_FATAL(msg) \
+  ::netcache::nc_assert_fail(__FILE__, __LINE__, "NC_FATAL", msg)

@@ -49,7 +49,7 @@ sim::Task<void> Cpu::read(Addr addr) {
     Addr blk = block_base(addr, config_->l2.block_bytes);
     if (node_->prefetch_in_flight(blk)) {
       while (node_->prefetch_in_flight(blk)) {
-        co_await node_->prefetch_waiters().wait();
+        co_await node_->prefetch_waiters().wait(*engine_, {id(), "cpu"});
       }
       node_->take_prefetched(blk);
       ++st.prefetches_useful;
@@ -129,7 +129,7 @@ sim::Task<void> Cpu::write(Addr addr, int bytes) {
   const bool priv = as_->is_private(addr);
   while (!node_->wb().add(addr, bytes, priv)) {
     const Cycles w0 = engine_->now();
-    co_await node_->wb().space_waiters().wait();
+    co_await node_->wb().space_waiters().wait(*engine_, {id(), "cpu"});
     st.wb_full_stall_cycles += engine_->now() - w0;
   }
   node_->wb().data_waiters().notify_all(*engine_);

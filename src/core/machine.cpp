@@ -72,7 +72,8 @@ sim::Task<void> Machine::worker(apps::Workload& workload, NodeId id) {
   }
 }
 
-RunSummary Machine::run(apps::Workload& workload) {
+RunSummary Machine::run(apps::Workload& workload,
+                        const sim::RunLimits& limits) {
   NC_ASSERT(!ran_, "a Machine runs exactly one workload");
   ran_ = true;
   workload.setup(*this);
@@ -84,7 +85,7 @@ RunSummary Machine::run(apps::Workload& workload) {
     engine_.spawn(worker(workload, n));
   }
   auto wall0 = std::chrono::steady_clock::now();
-  engine_.run();
+  engine_.run(limits);
   double wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0)
           .count();

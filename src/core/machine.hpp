@@ -46,7 +46,10 @@ class Machine {
 
   /// Runs `workload` to completion: setup, one worker coroutine per node,
   /// event loop until quiescent, then verification. Call once per Machine.
-  RunSummary run(apps::Workload& workload);
+  /// `limits` bounds the run (watchdog); a drained queue with blocked
+  /// workers (a protocol deadlock) or an exhausted budget throws SimError
+  /// with a blocked-task report instead of returning a bogus summary.
+  RunSummary run(apps::Workload& workload, const sim::RunLimits& limits = {});
 
  private:
   sim::Task<void> worker(apps::Workload& workload, NodeId id);

@@ -31,7 +31,7 @@ sim::Task<void> Node::drain_loop() {
   for (;;) {
     while (wb_.empty()) {
       if (shutdown_) co_return;
-      co_await wb_.data_waiters().wait();
+      co_await wb_.data_waiters().wait(*engine_, {id_, "wb-drain"});
     }
     cache::WriteEntry entry = wb_.pop();
     drain_in_flight_ = true;
@@ -49,7 +49,7 @@ sim::Task<void> Node::drain_loop() {
 
 sim::Task<void> Node::fence() {
   while (!wb_.empty() || drain_in_flight_) {
-    co_await wb_.idle_waiters().wait();
+    co_await wb_.idle_waiters().wait(*engine_, {id_, "fence"});
   }
   co_await mem_.wait_drained();
 }

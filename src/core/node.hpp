@@ -88,7 +88,7 @@ class Node {
   bool shutdown_ = false;
   std::unordered_set<Addr> prefetch_in_flight_;
   std::unordered_set<Addr> prefetched_;
-  sim::WaitList prefetch_waiters_;
+  sim::WaitList prefetch_waiters_{"Node.prefetch"};
 };
 
 }  // namespace netcache::core

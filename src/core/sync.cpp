@@ -12,7 +12,7 @@ sim::Task<void> Lock::acquire(Cpu& cpu) {
   co_await cpu.node().fence();
   co_await machine_->interconnect().sync_message(cpu.id());
   while (held_) {
-    co_await waiters_.wait();
+    co_await waiters_.wait(cpu.engine(), {cpu.id(), "cpu"});
   }
   held_ = true;
   st.sync_cycles += cpu.now() - t0;
@@ -40,7 +40,7 @@ sim::Task<void> Barrier::wait(Cpu& cpu) {
     co_await machine_->interconnect().sync_message(cpu.id());
     waiters_.notify_all(cpu.engine());
   } else {
-    co_await waiters_.wait();
+    co_await waiters_.wait(cpu.engine(), {cpu.id(), "cpu"});
   }
   st.sync_cycles += cpu.now() - t0;
 }

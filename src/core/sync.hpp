@@ -23,7 +23,7 @@ class Lock {
  private:
   Machine* machine_;
   bool held_ = false;
-  sim::WaitList waiters_;
+  sim::WaitList waiters_{"Lock"};
 };
 
 /// A centralized barrier; the last arriver broadcasts the release.
@@ -38,7 +38,7 @@ class Barrier {
   Machine* machine_;
   int parties_;
   int arrived_ = 0;
-  sim::WaitList waiters_;
+  sim::WaitList waiters_{"Barrier"};
 };
 
 }  // namespace netcache::core

@@ -46,7 +46,7 @@ DiskCachedVolume::DiskCachedVolume(sim::Engine& engine,
           }(),
           geometry.roundtrip_cycles,
           /*read_overhead_cycles=*/5, nodes, disk.block_bytes, rng),
-      disk_arm_(engine) {}
+      disk_arm_(engine, "DiskCachedVolume.arm") {}
 
 sim::Task<void> DiskCachedVolume::read(NodeId reader, Addr addr) {
   Cycles t0 = engine_->now();
@@ -61,7 +61,7 @@ sim::Task<void> DiskCachedVolume::read(NodeId reader, Addr addr) {
   ++misses_;
   // Disk access: exclusive arm, then the block streams off the platter and
   // is placed on the ring for everyone.
-  co_await disk_arm_.acquire();
+  co_await disk_arm_.acquire({reader, "disk-reader"});
   co_await engine_->delay(disk_.access_cycles + disk_.transfer_cycles);
   disk_arm_.release();
   ring_.insert(block, engine_->now());

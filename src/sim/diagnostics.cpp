@@ -1,0 +1,60 @@
+#include "src/sim/diagnostics.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace netcache::sim {
+
+const char* to_string(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kResume: return "resume";
+    case TraceKind::kCallback: return "callback";
+  }
+  return "?";
+}
+
+std::string TraceRing::dump() const {
+  std::string out;
+  if (!enabled()) return out;
+  char line[128];
+  std::snprintf(line, sizeof(line),
+                "event trace tail (%" PRIu64 " recorded, last %zu kept):\n",
+                recorded_, recorded_ < ring_.size()
+                               ? static_cast<std::size_t>(recorded_)
+                               : ring_.size());
+  out += line;
+  for_each_tail([&](const TraceRecord& r) {
+    std::snprintf(line, sizeof(line),
+                  "  t=%" PRId64 " %-8s tag=%" PRIu64 " queue_depth=%u\n",
+                  r.time, to_string(r.kind), r.tag, r.queue_depth);
+    out += line;
+  });
+  return out;
+}
+
+std::string format_blocked_report(const BlockedRegistry& blocked, Cycles now) {
+  std::string out;
+  char line[160];
+  std::snprintf(line, sizeof(line), "%zu blocked task(s) at cycle %" PRId64
+                                    ":\n",
+                blocked.size(), now);
+  out += line;
+  blocked.for_each([&](const BlockedInfo& b) {
+    char who[48];
+    if (b.tag.node != kNoNode) {
+      std::snprintf(who, sizeof(who), "%s %d",
+                    b.tag.label ? b.tag.label : "node", b.tag.node);
+    } else {
+      std::snprintf(who, sizeof(who), "%s",
+                    b.tag.label ? b.tag.label : "untagged");
+    }
+    std::snprintf(line, sizeof(line),
+                  "  [%s] waiting on %s@%p since cycle %" PRId64
+                  " (%" PRId64 " cycles)\n",
+                  who, b.what, b.target, b.since, now - b.since);
+    out += line;
+  });
+  return out;
+}
+
+}  // namespace netcache::sim

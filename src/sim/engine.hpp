@@ -1,20 +1,24 @@
 // Discrete-event simulation engine: virtual clock + event queue + coroutine
-// process management.
+// process management + failure containment (deadlock diagnosis, run
+// watchdog, opt-in event tracing).
 #pragma once
 
 #include <coroutine>
 #include <cstdint>
 
+#include "src/common/failure.hpp"
 #include "src/common/nc_assert.hpp"
 #include "src/common/types.hpp"
+#include "src/sim/diagnostics.hpp"
 #include "src/sim/event_queue.hpp"
 #include "src/sim/task.hpp"
 
 namespace netcache::sim {
 
-class Engine {
+class Engine : public FailureContext {
  public:
-  Engine() = default;
+  Engine();
+  ~Engine() override;
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
@@ -36,12 +40,25 @@ class Engine {
     queue_.push_resume(now_ + delay, h);
   }
 
+  /// Bulk fast path: schedules `n` resumes at now() + delay in one bucket
+  /// insertion (see EventQueue::push_resume_batch). Fire order is the array
+  /// order, identical to n schedule_resume calls.
+  void schedule_resume_batch(Cycles delay, const std::coroutine_handle<>* hs,
+                             std::size_t n) {
+    NC_ASSERT(delay >= 0, "cannot schedule into the past");
+    queue_.push_resume_batch(now_ + delay, hs, n);
+  }
+
   /// Detaches `t` as an independent process starting at now() + delay.
   /// The coroutine frame self-destroys on completion.
   void spawn(Task<void> t, Cycles delay = 0);
 
-  /// Runs until no events remain. Returns the final virtual time.
-  Cycles run();
+  /// Runs until no events remain, under `limits` (all unlimited by default).
+  /// Returns the final virtual time. Throws SimError with a full diagnostic
+  /// report — blocked-task table, trace-ring tail — when the queue drains
+  /// while registered waiters remain blocked (deadlock), or when a watchdog
+  /// budget in `limits` is exhausted (runaway / livelock).
+  Cycles run(const RunLimits& limits = {});
 
   /// Awaitable that suspends the current coroutine for `delay` cycles.
   /// Usage: `co_await engine.delay(n);`
@@ -61,10 +78,29 @@ class Engine {
   /// Number of events executed so far (diagnostic).
   std::uint64_t events_executed() const { return events_executed_; }
 
+  /// Suspended waiters currently registered with this engine. Sync and
+  /// resource primitives add themselves here while blocked so a drained
+  /// queue can be diagnosed (see diagnostics.hpp).
+  BlockedRegistry& blocked() { return blocked_; }
+  const BlockedRegistry& blocked() const { return blocked_; }
+
+  /// Opt-in event trace: records (time, kind, tag, queue depth) for the last
+  /// `capacity` executed events. Capacity 0 disables tracing again.
+  void enable_trace(std::size_t capacity) { trace_.enable(capacity); }
+  const TraceRing& trace() const { return trace_; }
+
+  /// Engine time, event count, blocked-task table, and trace tail — appended
+  /// to every NC_ASSERT/NC_FATAL report while this engine is alive.
+  void describe_failure_context(std::string& out) const override;
+
  private:
+  [[noreturn]] void fail_run(const char* problem);
+
   Cycles now_ = 0;
   EventQueue queue_;
   std::uint64_t events_executed_ = 0;
+  BlockedRegistry blocked_;
+  TraceRing trace_;
 };
 
 }  // namespace netcache::sim

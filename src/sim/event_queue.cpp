@@ -47,6 +47,32 @@ void EventQueue::place(Event&& e) {
   }
 }
 
+void EventQueue::push_resume_batch(Cycles time,
+                                   const std::coroutine_handle<>* hs,
+                                   std::size_t n) {
+  if (n == 0) return;
+  if (size_ == 0) {
+    cursor_ = time;
+  } else if (time < cursor_) {
+    rebuild(time);
+  }
+  if (time - cursor_ < static_cast<Cycles>(kWheelSize)) {
+    std::size_t idx = static_cast<std::size_t>(time) & kMask;
+    auto& bucket = wheel_[idx];
+    bucket.reserve(bucket.size() + n);
+    for (std::size_t i = 0; i < n; ++i) {
+      bucket.push_back(Event::make_resume(time, next_seq_++, hs[i]));
+    }
+    occupied_[idx >> 6] |= std::uint64_t{1} << (idx & 63);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      overflow_.push_back(Event::make_resume(time, next_seq_++, hs[i]));
+      std::push_heap(overflow_.begin(), overflow_.end(), Later{});
+    }
+  }
+  size_ += n;
+}
+
 void EventQueue::rebuild(Cycles new_cursor) {
   std::vector<Event> pending;
   pending.reserve(size_ - overflow_.size());

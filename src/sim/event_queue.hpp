@@ -177,6 +177,14 @@ class EventQueue {
     insert(Event::make_resume(time, next_seq_++, h));
   }
 
+  /// Bulk fast path: schedules `n` same-time resumes in one call — the
+  /// target bucket is located once and the handles appended in order (a
+  /// barrier release resumes every party at one instant; pushing them one by
+  /// one re-ran the bucket-selection logic per waiter). Fire order matches n
+  /// individual push_resume calls exactly.
+  void push_resume_batch(Cycles time, const std::coroutine_handle<>* hs,
+                         std::size_t n);
+
   bool empty() const { return size_ == 0; }
   std::size_t size() const { return size_; }
 

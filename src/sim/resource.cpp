@@ -17,9 +17,9 @@ void Resource::release() {
   engine_->schedule_resume(0, h);
 }
 
-Task<void> Resource::use(Cycles service) {
+Task<void> Resource::use(Cycles service, WaiterTag tag) {
   Cycles t0 = engine_->now();
-  co_await acquire();
+  co_await acquire(tag);
   wait_cycles_ += engine_->now() - t0;
   co_await engine_->delay(service);
   release();

@@ -5,6 +5,7 @@
 #include <deque>
 
 #include "src/common/types.hpp"
+#include "src/sim/diagnostics.hpp"
 #include "src/sim/engine.hpp"
 #include "src/sim/task.hpp"
 
@@ -12,9 +13,15 @@ namespace netcache::sim {
 
 /// An exclusive resource with FIFO queueing. A holder acquires, works for
 /// some simulated time, then releases; waiters resume in arrival order.
+///
+/// Queued acquirers register with the engine's BlockedRegistry while
+/// suspended, so a deadlocked run (a leaked release) reports who is parked
+/// on which resource and since when. `kind` names the resource in that
+/// report; `tag` identifies the acquirer.
 class Resource {
  public:
-  explicit Resource(Engine& engine) : engine_(&engine) {}
+  explicit Resource(Engine& engine, const char* kind = "Resource")
+      : engine_(&engine), kind_(kind) {}
   Resource(const Resource&) = delete;
   Resource& operator=(const Resource&) = delete;
 
@@ -23,10 +30,13 @@ class Resource {
 
   /// Awaitable acquisition: `co_await res.acquire();` — returns holding the
   /// resource. Pair with release().
-  auto acquire() {
+  auto acquire(WaiterTag tag = {}) {
     struct Awaiter {
       Resource* res;
-      bool await_ready() const noexcept {
+      WaiterTag tag;
+      BlockedRegistry::Ticket ticket = 0;
+      bool suspended = false;
+      bool await_ready() noexcept {
         if (!res->busy_) {
           res->busy_ = true;
           return true;
@@ -34,11 +44,17 @@ class Resource {
         return false;
       }
       void await_suspend(std::coroutine_handle<> h) {
+        suspended = true;
         res->waiters_.push_back(h);
+        ticket = res->engine_->blocked().add(
+            {res->kind_, res, tag, res->engine_->now()});
       }
-      void await_resume() const noexcept {}
+      void await_resume() const noexcept {
+        // Uncontended acquires complete in await_ready and never registered.
+        if (suspended) res->engine_->blocked().remove(ticket);
+      }
     };
-    return Awaiter{this};
+    return Awaiter{this, tag};
   }
 
   /// Releases the resource; the next FIFO waiter (if any) resumes at the
@@ -46,13 +62,14 @@ class Resource {
   void release();
 
   /// Convenience: acquire, occupy for `service` cycles, release.
-  Task<void> use(Cycles service);
+  Task<void> use(Cycles service, WaiterTag tag = {});
 
   /// Total cycles spent waiting in this resource's queue (contention metric).
   Cycles wait_cycles() const { return wait_cycles_; }
 
  private:
   Engine* engine_;
+  const char* kind_;
   bool busy_ = false;
   std::deque<std::coroutine_handle<>> waiters_;
   Cycles wait_cycles_ = 0;

@@ -30,7 +30,7 @@ VarSlotTdma::VarSlotTdma(Engine& engine, int members, Cycles base_slot_cycles)
     : engine_(&engine),
       members_(members),
       base_slot_(base_slot_cycles),
-      medium_(engine) {
+      medium_(engine, "VarSlotTdma.medium") {
   NC_ASSERT(members > 0 && base_slot_cycles > 0, "bad TDMA geometry");
 }
 
@@ -44,7 +44,8 @@ Task<void> VarSlotTdma::transmit(int member_index, Cycles message_cycles) {
   Cycles dist = ((offset - now) % rotation + rotation) % rotation;
   turn_wait_ += dist;
   if (dist > 0) co_await engine_->delay(dist);
-  co_await medium_.use(message_cycles);
+  co_await medium_.use(message_cycles,
+                       {static_cast<NodeId>(member_index), "tdma-member"});
 }
 
 }  // namespace netcache::sim

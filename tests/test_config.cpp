@@ -3,9 +3,28 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <string>
+
+#include "src/common/sim_error.hpp"
 
 namespace netcache {
 namespace {
+
+/// Expects cfg.validate() to throw ConfigError whose key matches `key` and
+/// whose message mentions `why_fragment`.
+void expect_rejected(const MachineConfig& cfg, const std::string& key,
+                     const std::string& why_fragment) {
+  try {
+    cfg.validate();
+    FAIL() << "expected ConfigError for key " << key;
+  } catch (const ConfigError& e) {
+    EXPECT_EQ(e.key(), key);
+    EXPECT_NE(std::string(e.what()).find(why_fragment), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find(e.value()), std::string::npos)
+        << "message must carry the offending value: " << e.what();
+  }
+}
 
 TEST(Config, DefaultsMatchPaperBaseSystem) {
   MachineConfig cfg;
@@ -20,31 +39,50 @@ TEST(Config, DefaultsMatchPaperBaseSystem) {
   EXPECT_DOUBLE_EQ(cfg.gbit_per_s, 10.0);
   EXPECT_EQ(cfg.ring.channels, 128);
   EXPECT_EQ(cfg.ring.capacity_bytes(), 32 * 1024);
-  cfg.validate();  // must not abort
+  cfg.validate();  // must not throw
 }
 
 TEST(Config, ValidateRejectsBadGeometry) {
   MachineConfig cfg;
   cfg.l2.block_bytes = 48;  // not a power of two
-  EXPECT_DEATH(cfg.validate(), "power");
+  expect_rejected(cfg, "l2.block_bytes", "power");
 }
 
 TEST(Config, ValidateRejectsUnevenRingChannels) {
   MachineConfig cfg;
   cfg.nodes = 12;
   cfg.ring.channels = 128;  // 128 % 12 != 0
-  EXPECT_DEATH(cfg.validate(), "channels");
+  expect_rejected(cfg, "ring.channels", "divide evenly among home nodes");
 }
 
 TEST(Config, ValidateRejectsMismatchedRingBlock) {
   MachineConfig cfg;
   cfg.ring.block_bytes = 32;  // smaller than the 64-byte L2 block
-  EXPECT_DEATH(cfg.validate(), "shared cache line");
+  expect_rejected(cfg, "ring.block_bytes", "shared cache line");
   cfg.ring.block_bytes = 96;  // not a power-of-two multiple
-  EXPECT_DEATH(cfg.validate(), "shared cache line");
+  expect_rejected(cfg, "ring.block_bytes", "shared cache line");
   cfg.ring.block_bytes = 128;  // the paper's Section 5.3.2 variant: fine
   cfg.ring.blocks_per_channel = 2;
   cfg.validate();
+}
+
+TEST(Config, ValidateRejectsOutOfRangeScalars) {
+  MachineConfig cfg;
+  cfg.nodes = 0;
+  expect_rejected(cfg, "nodes", "at least one node");
+  cfg = MachineConfig{};
+  cfg.gbit_per_s = -2.5;
+  expect_rejected(cfg, "gbit_per_s", "positive");
+  cfg = MachineConfig{};
+  cfg.write_buffer_entries = 0;
+  expect_rejected(cfg, "write_buffer_entries", "cannot be empty");
+}
+
+TEST(Config, ConfigErrorIsASimError) {
+  // Drivers catch SimError; ConfigError must be part of that hierarchy.
+  MachineConfig cfg;
+  cfg.nodes = -1;
+  EXPECT_THROW(cfg.validate(), SimError);
 }
 
 TEST(Config, UpdateMessageScalesWithWords) {

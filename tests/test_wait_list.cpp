@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "src/sim/engine.hpp"
 #include "src/sim/task.hpp"
 
@@ -13,7 +15,7 @@ TEST(WaitList, NotifyResumesAllWaiters) {
   WaitList wl;
   int resumed = 0;
   auto waiter = [&]() -> Task<void> {
-    co_await wl.wait();
+    co_await wl.wait(eng);
     ++resumed;
   };
   for (int i = 0; i < 5; ++i) eng.spawn(waiter());
@@ -34,7 +36,7 @@ TEST(WaitList, WaitersResumeAtNotifyTime) {
   WaitList wl;
   Cycles resumed_at = -1;
   auto waiter = [&]() -> Task<void> {
-    co_await wl.wait();
+    co_await wl.wait(eng);
     resumed_at = eng.now();
   };
   eng.spawn(waiter());
@@ -48,9 +50,9 @@ TEST(WaitList, ReRegistrationAfterResume) {
   WaitList wl;
   int wakeups = 0;
   auto waiter = [&]() -> Task<void> {
-    co_await wl.wait();
+    co_await wl.wait(eng);
     ++wakeups;
-    co_await wl.wait();
+    co_await wl.wait(eng);
     ++wakeups;
   };
   eng.spawn(waiter());
@@ -67,16 +69,83 @@ TEST(WaitList, NotificationsDoNotAccumulate) {
   bool resumed = false;
   wl.notify_all(eng);
   auto waiter = [&]() -> Task<void> {
-    co_await wl.wait();
+    co_await wl.wait(eng);
     resumed = true;
   };
   eng.spawn(waiter());
-  eng.run();
+  // This stepwise run parks the waiter on purpose; opt out of the deadlock
+  // diagnosis for it.
+  RunLimits lenient;
+  lenient.fail_on_blocked = false;
+  eng.run(lenient);
   EXPECT_FALSE(resumed);  // still parked; engine ran out of events
   EXPECT_FALSE(wl.empty());
+  EXPECT_EQ(eng.blocked().size(), 1u);
   wl.notify_all(eng);
   eng.run();
   EXPECT_TRUE(resumed);
+  EXPECT_TRUE(eng.blocked().empty());
+}
+
+TEST(WaitList, BatchedNotifyPreservesWaitOrder) {
+  // notify_all bulk-pushes every waiter into the current timing-wheel bucket
+  // in one call; the resume order must still be exactly the wait() order.
+  Engine eng;
+  WaitList wl;
+  std::vector<int> order;
+  auto waiter = [&](int id) -> Task<void> {
+    co_await wl.wait(eng);
+    order.push_back(id);
+  };
+  for (int i = 0; i < 8; ++i) eng.spawn(waiter(i));
+  eng.schedule(3, [&] { wl.notify_all(eng); });
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(WaitList, BatchedNotifyInterleavesWithSingleSchedules) {
+  // Events scheduled before the batch at the same instant fire before it;
+  // events scheduled after fire after — seq order spans the bulk push.
+  Engine eng;
+  WaitList wl;
+  std::vector<int> order;
+  auto waiter = [&](int id) -> Task<void> {
+    co_await wl.wait(eng);
+    order.push_back(id);
+  };
+  for (int i = 0; i < 3; ++i) eng.spawn(waiter(i));
+  eng.schedule(7, [&] {
+    eng.schedule(0, [&] { order.push_back(-1); });  // before the batch
+    wl.notify_all(eng);
+    eng.schedule(0, [&] { order.push_back(-2); });  // after the batch
+  });
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{-1, 0, 1, 2, -2}));
+}
+
+TEST(WaitList, WaitersRegisterWithBlockedRegistry) {
+  Engine eng;
+  WaitList wl("TestList");
+  auto waiter = [&]() -> Task<void> {
+    co_await wl.wait(eng, {7, "unit"});
+  };
+  eng.spawn(waiter());
+  eng.schedule(5, [&] {
+    EXPECT_EQ(eng.blocked().size(), 1u);
+    bool seen = false;
+    eng.blocked().for_each([&](const BlockedInfo& b) {
+      seen = true;
+      EXPECT_STREQ(b.what, "TestList");
+      EXPECT_EQ(b.target, &wl);
+      EXPECT_EQ(b.tag.node, 7);
+      EXPECT_STREQ(b.tag.label, "unit");
+      EXPECT_EQ(b.since, 0);
+    });
+    EXPECT_TRUE(seen);
+    wl.notify_all(eng);
+  });
+  eng.run();
+  EXPECT_TRUE(eng.blocked().empty());
 }
 
 }  // namespace
