@@ -13,16 +13,26 @@ static nb::Table table(
 
 static const char* kApps[] = {"em3d", "cg", "mg", "ocean", "radix"};
 
-static void BM_BlockSize(benchmark::State& state) {
-  const std::string app = kApps[state.range(0)];
-  for (auto _ : state) {
-    auto base = nb::simulate(app, SystemKind::kNetCache);
+static nb::CellRef base_cells[5];
+static nb::CellRef wide_cells[5];
+static nb::SweepPlan plan([] {
+  for (int a = 0; a < 5; ++a) {
+    base_cells[a] = nb::submit(kApps[a], SystemKind::kNetCache);
     nb::SimOptions opts;
     opts.tweak = [](netcache::MachineConfig& cfg) {
       cfg.ring.block_bytes = 128;
       cfg.ring.blocks_per_channel = 2;  // same 32-KB capacity
     };
-    auto wide = nb::simulate(app, SystemKind::kNetCache, opts);
+    wide_cells[a] = nb::submit(kApps[a], SystemKind::kNetCache, opts);
+  }
+});
+
+static void BM_BlockSize(benchmark::State& state) {
+  const auto a = static_cast<int>(state.range(0));
+  const std::string app = kApps[a];
+  for (auto _ : state) {
+    const auto& base = base_cells[a].summary();
+    const auto& wide = wide_cells[a].summary();
     double penalty = 100.0 * (static_cast<double>(wide.run_time) /
                                   static_cast<double>(base.run_time) -
                               1.0);

@@ -14,17 +14,29 @@ static const char* kApps[] = {"fft", "sor", "em3d", "lu"};
 static const SystemKind kSystems[] = {SystemKind::kNetCache,
                                       SystemKind::kLambdaNet};
 
+static nb::CellRef base_cells[4][2];
+static nb::CellRef pf_cells[4][2];
+static nb::SweepPlan plan([] {
+  for (int a = 0; a < 4; ++a) {
+    for (int k = 0; k < 2; ++k) {
+      base_cells[a][k] = nb::submit(kApps[a], kSystems[k]);
+      nb::SimOptions opts;
+      opts.tweak = [](netcache::MachineConfig& cfg) {
+        cfg.sequential_prefetch = true;
+      };
+      pf_cells[a][k] = nb::submit(kApps[a], kSystems[k], opts);
+    }
+  }
+});
+
 static void BM_Prefetch(benchmark::State& state) {
-  const std::string app = kApps[state.range(0)];
-  const SystemKind kind = kSystems[state.range(1)];
-  std::string row = app + "-" + netcache::to_string(kind);
+  const auto a = static_cast<int>(state.range(0));
+  const auto k = static_cast<int>(state.range(1));
+  std::string row =
+      std::string(kApps[a]) + "-" + netcache::to_string(kSystems[k]);
   for (auto _ : state) {
-    auto base = nb::simulate(app, kind);
-    nb::SimOptions opts;
-    opts.tweak = [](netcache::MachineConfig& cfg) {
-      cfg.sequential_prefetch = true;
-    };
-    auto pf = nb::simulate(app, kind, opts);
+    const auto& base = base_cells[a][k].summary();
+    const auto& pf = pf_cells[a][k].summary();
     double gain = 100.0 * (static_cast<double>(base.run_time) /
                                static_cast<double>(pf.run_time) -
                            1.0);

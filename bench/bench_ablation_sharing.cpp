@@ -15,21 +15,31 @@ static const SystemKind kSystems[] = {
     SystemKind::kNetCache, SystemKind::kLambdaNet, SystemKind::kDmonUpdate,
     SystemKind::kDmonInvalidate};
 
+static nb::CellRef cells[4][4];
+static nb::SweepPlan plan([] {
+  for (int p = 0; p < 4; ++p) {
+    for (int k = 0; k < 4; ++k) {
+      const std::string pattern = kPatterns[p];
+      nb::SimOptions opts;
+      opts.make_workload = [pattern] {
+        netcache::apps::SyntheticSpec spec;
+        spec.pattern = pattern;
+        return netcache::apps::make_synthetic(spec);
+      };
+      cells[p][k] = nb::submit(pattern, kSystems[k], opts);
+    }
+  }
+});
+
 static void BM_Sharing(benchmark::State& state) {
-  const std::string pattern = kPatterns[state.range(0)];
+  const auto p = static_cast<int>(state.range(0));
+  const std::string pattern = kPatterns[p];
   for (auto _ : state) {
-    for (SystemKind kind : kSystems) {
-      netcache::MachineConfig cfg;
-      cfg.system = kind;
-      netcache::core::Machine machine(cfg);
-      netcache::apps::SyntheticSpec spec;
-      spec.pattern = pattern;
-      auto w = netcache::apps::make_synthetic(spec);
-      auto s = machine.run(*w);
-      if (!s.verified) state.SkipWithError("verification failed");
-      table.set(pattern, netcache::to_string(kind),
+    for (int k = 0; k < 4; ++k) {
+      const auto& s = cells[p][k].summary();
+      table.set(pattern, netcache::to_string(kSystems[k]),
                 static_cast<double>(s.run_time));
-      state.counters[netcache::to_string(kind)] =
+      state.counters[netcache::to_string(kSystems[k])] =
           static_cast<double>(s.run_time);
     }
   }

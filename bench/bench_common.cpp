@@ -2,39 +2,95 @@
 
 #include <algorithm>
 #include <cctype>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 namespace netcache::bench {
 
 namespace {
-// Engine totals across every simulate() call in this binary, reported after
-// the tables so each bench run surfaces event-core throughput.
+
+// Engine totals across every simulation in this binary, reported after the
+// tables so each bench run surfaces event-core throughput. Guarded: sweep
+// workers may finish cells concurrently.
+std::mutex g_totals_mutex;
 std::uint64_t g_total_events = 0;
 double g_total_engine_seconds = 0.0;
+
+void add_engine_totals(const core::RunSummary& s) {
+  std::lock_guard<std::mutex> lock(g_totals_mutex);
+  g_total_events += s.events;
+  g_total_engine_seconds += s.wall_seconds;
+}
+
+std::vector<std::function<void()>>& planners() {
+  static std::vector<std::function<void()>> p;
+  return p;
+}
+
+// The binary-wide sweep: planners submit into it, bench_main runs it, and
+// CellRef::summary() reads it. Null until bench_main builds it.
+sweep::SweepDriver* g_driver = nullptr;
+
+int g_jobs = 0;  // 0 = resolve via sweep::default_jobs()
+
+sweep::Cell to_cell(const std::string& app, SystemKind system,
+                    const SimOptions& opts) {
+  sweep::Cell cell;
+  cell.app = app;
+  cell.system = system;
+  cell.nodes = opts.nodes;
+  cell.scale = opts.scale;
+  cell.paper_size = opts.paper_size;
+  cell.tweak = opts.tweak;
+  cell.limits = opts.limits;
+  cell.make_workload = opts.make_workload;
+  return cell;
+}
+
+[[noreturn]] void die_cell(const sweep::Cell& cell, const char* problem,
+                           const std::string& detail) {
+  std::fprintf(stderr, "FATAL: %s %s%s%s\n", cell.label().c_str(), problem,
+               detail.empty() ? "" : ": ", detail.c_str());
+  std::abort();
+}
+
 }  // namespace
 
 core::RunSummary simulate(const std::string& app, SystemKind system,
                           const SimOptions& opts) {
-  MachineConfig cfg;
-  cfg.nodes = opts.nodes;
-  cfg.system = system;
-  if (opts.tweak) opts.tweak(cfg);
-  core::Machine machine(cfg);
-  apps::WorkloadParams params;
-  params.scale = opts.scale;
-  params.paper_size = opts.paper_size;
-  auto workload = apps::make_workload(app, params);
-  core::RunSummary s = machine.run(*workload, opts.limits);
-  g_total_events += s.events;
-  g_total_engine_seconds += s.wall_seconds;
-  if (!s.verified) {
-    std::fprintf(stderr, "FATAL: %s failed verification on %s\n",
-                 app.c_str(), to_string(system));
+  sweep::Cell cell = to_cell(app, system, opts);
+  sweep::CellResult r = sweep::run_cell(cell);
+  if (!r.ok) die_cell(cell, "failed", r.error);
+  if (!r.summary.verified) die_cell(cell, "failed verification", "");
+  add_engine_totals(r.summary);
+  return r.summary;
+}
+
+const core::RunSummary& CellRef::summary() const {
+  if (g_driver == nullptr || index_ >= g_driver->size()) {
+    std::fprintf(stderr,
+                 "FATAL: CellRef::summary() before the sweep has run\n");
     std::abort();
   }
-  return s;
+  return g_driver->result(index_).summary;
+}
+
+CellRef submit(const std::string& app, SystemKind system,
+               const SimOptions& opts) {
+  if (g_driver == nullptr) {
+    std::fprintf(stderr,
+                 "FATAL: submit() outside a SweepPlan (bench_main owns the "
+                 "driver)\n");
+    std::abort();
+  }
+  return CellRef(g_driver->submit(to_cell(app, system, opts)));
+}
+
+SweepPlan::SweepPlan(std::function<void()> plan) {
+  planners().push_back(std::move(plan));
 }
 
 Table::Table(std::string title, std::vector<std::string> columns)
@@ -42,11 +98,13 @@ Table::Table(std::string title, std::vector<std::string> columns)
 
 void Table::set(const std::string& row, const std::string& column,
                 double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
   if (cells_.find(row) == cells_.end()) row_order_.push_back(row);
   cells_[row][column] = value;
 }
 
 void Table::print() const {
+  std::lock_guard<std::mutex> lock(mutex_);
   std::printf("\n== %s ==\n", title_.c_str());
   std::printf("%-12s", "");
   for (const auto& c : columns_) std::printf(" %12s", c.c_str());
@@ -67,6 +125,7 @@ void Table::print() const {
 }
 
 std::string Table::to_csv() const {
+  std::lock_guard<std::mutex> lock(mutex_);
   std::string out = "row";
   for (const auto& c : columns_) out += "," + c;
   out += "\n";
@@ -90,11 +149,14 @@ std::string Table::to_csv() const {
 
 void Table::write_csv_to(const std::string& dir) const {
   std::string name;
-  for (char c : title_) {
-    if (std::isalnum(static_cast<unsigned char>(c))) {
-      name += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
-    } else if (!name.empty() && name.back() != '_') {
-      name += '_';
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (char c : title_) {
+      if (std::isalnum(static_cast<unsigned char>(c))) {
+        name += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+      } else if (!name.empty() && name.back() != '_') {
+        name += '_';
+      }
     }
   }
   std::string path = dir + "/" + name + ".csv";
@@ -107,22 +169,79 @@ void Table::write_csv_to(const std::string& dir) const {
   }
 }
 
+int bench_jobs() { return g_jobs > 0 ? g_jobs : sweep::default_jobs(); }
+
 int bench_main(int argc, char** argv,
                const std::vector<const Table*>& tables) {
+  // Strip --jobs=N before google-benchmark sees (and rejects) it.
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strncmp(a, "--jobs=", 7) == 0) {
+      char* end = nullptr;
+      long n = std::strtol(a + 7, &end, 10);
+      if (end == a + 7 || *end != '\0' || n < 1) {
+        std::fprintf(stderr, "bad --jobs value '%s'\n", a + 7);
+        return 1;
+      }
+      g_jobs = static_cast<int>(n);
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  argc = out;
+
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+
+  // Fan the declared grid out across the pool before the benchmark bodies
+  // (which consume the finished summaries) run.
+  sweep::SweepDriver driver(bench_jobs());
+  g_driver = &driver;
+  for (const auto& plan : planners()) plan();
+  if (driver.size() > 0) {
+    auto t0 = std::chrono::steady_clock::now();
+    const auto& results = driver.run();
+    double secs = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+    bool failed = false;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      if (!results[i].ok) {
+        std::fprintf(stderr, "FATAL: cell %s failed: %s\n",
+                     driver.cell(i).label().c_str(),
+                     results[i].error.c_str());
+        failed = true;
+      } else if (!results[i].summary.verified) {
+        std::fprintf(stderr, "FATAL: cell %s failed verification\n",
+                     driver.cell(i).label().c_str());
+        failed = true;
+      } else {
+        add_engine_totals(results[i].summary);
+      }
+    }
+    if (failed) return 1;
+    std::printf("sweep: %zu cells on %d worker(s) in %.2f s\n", driver.size(),
+                driver.jobs(), secs);
+  }
+
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   for (const Table* t : tables) t->print();
-  if (g_total_engine_seconds > 0) {
-    std::printf("\nengine: %llu events in %.3f s  (%.3g events/s)\n",
-                static_cast<unsigned long long>(g_total_events),
-                g_total_engine_seconds,
-                static_cast<double>(g_total_events) / g_total_engine_seconds);
+  {
+    std::lock_guard<std::mutex> lock(g_totals_mutex);
+    if (g_total_engine_seconds > 0) {
+      std::printf(
+          "\nengine: %llu events in %.3f s  (%.3g events/s)\n",
+          static_cast<unsigned long long>(g_total_events),
+          g_total_engine_seconds,
+          static_cast<double>(g_total_events) / g_total_engine_seconds);
+    }
   }
   if (const char* dir = std::getenv("NETCACHE_BENCH_CSV_DIR")) {
     for (const Table* t : tables) t->write_csv_to(dir);
   }
+  g_driver = nullptr;
   return 0;
 }
 
@@ -180,10 +299,12 @@ double mean_ring_hit_latency() {
   int measured = 0;
   const int count = 128;
   core::Barrier* bar = nullptr;
+  // Shared by every per-node coroutine of this one machine; a function-local
+  // static here would leak across concurrently probing sweep workers.
+  Addr base = 0;
   s.body = [&](core::Machine& mach, core::Cpu& cpu,
                int tid) -> sim::Task<void> {
     if (!bar) bar = &mach.make_barrier(mach.nodes());
-    static Addr base = 0;
     if (tid == 0) {
       base = mach.address_space().alloc_shared(
           static_cast<std::size_t>(count) * 17 * 64 + 4096);

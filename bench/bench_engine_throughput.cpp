@@ -9,6 +9,10 @@
 //                           zero-delay resume path)
 //   - full_app:             sor on NetCache, 16 nodes (the real workload mix)
 //
+// Also reports timing-wheel occupancy (wheel vs overflow-heap pushes, from
+// EventQueue::stats()) for gauss and wf — the two workloads with the most
+// far-future scheduling — so kWheelSize tuning has data PR over PR.
+//
 // Emits BENCH_engine.json (override path with NETCACHE_BENCH_ENGINE_JSON) so
 // the event-core perf trajectory is tracked PR over PR. The baseline block
 // holds the numbers measured on the pre-rewrite std::function +
@@ -32,6 +36,17 @@ struct Measurement {
   std::uint64_t events = 0;
   double seconds = 0.0;
   double events_per_sec() const { return seconds > 0 ? events / seconds : 0; }
+};
+
+// Timing-wheel occupancy for one run: how many pushes landed in a wheel
+// bucket vs spilled to the overflow min-heap (horizon > kWheelSize cycles).
+struct Occupancy {
+  std::uint64_t wheel = 0;
+  std::uint64_t overflow = 0;
+  double overflow_pct() const {
+    const double total = static_cast<double>(wheel + overflow);
+    return total > 0 ? 100.0 * static_cast<double>(overflow) / total : 0.0;
+  }
 };
 
 // Reference numbers for the pre-rewrite event core (std::function events in a
@@ -66,6 +81,8 @@ constexpr const char* kDiagnosticsNote =
 Measurement g_pure_delay;
 Measurement g_resource;
 Measurement g_full_app;
+Occupancy g_gauss_occ;
+Occupancy g_wf_occ;
 
 class WallTimer {
  public:
@@ -124,6 +141,13 @@ Measurement run_full_app() {
   return {s.events, t.seconds()};
 }
 
+Occupancy run_occupancy(const char* app) {
+  SimOptions opts;
+  opts.limits = bench_limits();
+  core::RunSummary s = simulate(app, SystemKind::kNetCache, opts);
+  return {s.wheel_pushes, s.overflow_pushes};
+}
+
 void BM_PureDelay(benchmark::State& state) {
   for (auto _ : state) {
     Measurement m = run_pure_delay();
@@ -157,6 +181,20 @@ void BM_FullApp(benchmark::State& state) {
 }
 BENCHMARK(BM_FullApp)->Unit(benchmark::kMillisecond);
 
+void BM_WheelOccupancy(benchmark::State& state) {
+  const char* app = state.range(0) == 0 ? "gauss" : "wf";
+  Occupancy* out = state.range(0) == 0 ? &g_gauss_occ : &g_wf_occ;
+  for (auto _ : state) {
+    *out = run_occupancy(app);
+    state.counters["wheel_pushes"] = static_cast<double>(out->wheel);
+    state.counters["overflow_pushes"] = static_cast<double>(out->overflow);
+    state.counters["overflow_pct"] = out->overflow_pct();
+  }
+  state.SetLabel(app);
+}
+BENCHMARK(BM_WheelOccupancy)->DenseRange(0, 1)->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
 void write_json(const char* path) {
   std::FILE* f = std::fopen(path, "w");
   if (!f) {
@@ -174,6 +212,15 @@ void write_json(const char* path) {
                  baseline_eps > 0 ? m.events_per_sec() / baseline_eps : 0.0,
                  trailing_comma);
   };
+  auto emit_occ = [&](const char* name, const Occupancy& o,
+                      const char* trailing_comma) {
+    std::fprintf(f,
+                 "    \"%s\": {\"wheel_pushes\": %llu, \"overflow_pushes\": "
+                 "%llu, \"overflow_pct\": %.4f}%s\n",
+                 name, static_cast<unsigned long long>(o.wheel),
+                 static_cast<unsigned long long>(o.overflow),
+                 o.overflow_pct(), trailing_comma);
+  };
   std::fprintf(f, "{\n");
   std::fprintf(f, "  \"benchmark\": \"bench_engine_throughput\",\n");
   std::fprintf(f, "  \"unit\": \"events/sec\",\n");
@@ -181,6 +228,16 @@ void write_json(const char* path) {
                "  \"baseline\": \"std::function events + std::priority_queue"
                " + malloc'd coroutine frames (pre allocation-free core)\",\n");
   std::fprintf(f, "  \"notes\": \"%s\",\n", kDiagnosticsNote);
+  std::fprintf(f,
+               "  \"timing_wheel_notes\": \"occupancy from "
+               "EventQueue::stats(): pushes landing in a wheel bucket vs "
+               "spilling to the overflow min-heap; gauss and wf are the "
+               "far-future-heaviest workloads, so a rising overflow_pct here "
+               "is the signal to grow kWheelSize\",\n");
+  std::fprintf(f, "  \"timing_wheel\": {\n");
+  emit_occ("gauss", g_gauss_occ, ",");
+  emit_occ("wf", g_wf_occ, "");
+  std::fprintf(f, "  },\n");
   std::fprintf(f, "  \"workloads\": {\n");
   emit("pure_delay", g_pure_delay, kBaselinePureDelayEps, ",");
   emit("resource_contention", g_resource, kBaselineResourceEps, ",");
@@ -200,6 +257,14 @@ void print_summary() {
   line("pure_delay", g_pure_delay, kBaselinePureDelayEps);
   line("resource_contention", g_resource, kBaselineResourceEps);
   line("full_app", g_full_app, kBaselineFullAppEps);
+  std::printf("\n== timing-wheel occupancy (EventQueue::stats()) ==\n");
+  auto occ_line = [](const char* name, const Occupancy& o) {
+    std::printf("%-20s wheel %12llu  overflow %8llu  (%.3f%% overflow)\n",
+                name, static_cast<unsigned long long>(o.wheel),
+                static_cast<unsigned long long>(o.overflow), o.overflow_pct());
+  };
+  occ_line("gauss", g_gauss_occ);
+  occ_line("wf", g_wf_occ);
 }
 
 }  // namespace

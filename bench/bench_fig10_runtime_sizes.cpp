@@ -8,18 +8,33 @@ using netcache::SystemKind;
 static nb::Table table("Figure 10: run time normalized to no shared cache",
                        {"0KB", "16KB", "32KB", "64KB"});
 
-static void BM_RuntimeSizes(benchmark::State& state) {
-  const std::string app = nb::all_apps()[static_cast<size_t>(state.range(0))];
-  for (auto _ : state) {
-    auto base = nb::simulate(app, SystemKind::kNetCacheNoRing);
-    table.set(app, "0KB", 1.0);
-    for (int channels : {64, 128, 256}) {
+static const int kChannels[] = {64, 128, 256};
+
+static nb::CellRef base_cells[12];
+static nb::CellRef cells[12][3];
+static nb::SweepPlan plan([] {
+  for (int a = 0; a < 12; ++a) {
+    base_cells[a] = nb::submit(nb::all_apps()[a], SystemKind::kNetCacheNoRing);
+    for (int c = 0; c < 3; ++c) {
+      const int channels = kChannels[c];
       nb::SimOptions opts;
       opts.tweak = [channels](netcache::MachineConfig& cfg) {
         cfg.ring.channels = channels;
       };
-      auto s = nb::simulate(app, SystemKind::kNetCache, opts);
-      std::string col = std::to_string(channels / 4) + "KB";
+      cells[a][c] = nb::submit(nb::all_apps()[a], SystemKind::kNetCache, opts);
+    }
+  }
+});
+
+static void BM_RuntimeSizes(benchmark::State& state) {
+  const auto a = static_cast<size_t>(state.range(0));
+  const std::string app = nb::all_apps()[a];
+  for (auto _ : state) {
+    const auto& base = base_cells[a].summary();
+    table.set(app, "0KB", 1.0);
+    for (int c = 0; c < 3; ++c) {
+      const auto& s = cells[a][c].summary();
+      std::string col = std::to_string(kChannels[c] / 4) + "KB";
       double norm = static_cast<double>(s.run_time) /
                     static_cast<double>(base.run_time);
       table.set(app, col, norm);

@@ -9,20 +9,32 @@ using netcache::SystemKind;
 static nb::Table table("Figure 11: hit rate (%) by channel associativity",
                        {"Fully", "Direct"});
 
-static void BM_Assoc(benchmark::State& state) {
-  const std::string app = nb::all_apps()[static_cast<size_t>(state.range(0))];
-  for (auto _ : state) {
-    for (RingAssociativity assoc :
-         {RingAssociativity::kFullyAssociative,
-          RingAssociativity::kDirectMapped}) {
+static const RingAssociativity kAssocs[] = {
+    RingAssociativity::kFullyAssociative, RingAssociativity::kDirectMapped};
+
+static nb::CellRef cells[12][2];
+static nb::SweepPlan plan([] {
+  for (int a = 0; a < 12; ++a) {
+    for (int k = 0; k < 2; ++k) {
+      const RingAssociativity assoc = kAssocs[k];
       nb::SimOptions opts;
       opts.tweak = [assoc](netcache::MachineConfig& cfg) {
         cfg.ring.associativity = assoc;
       };
-      auto s = nb::simulate(app, SystemKind::kNetCache, opts);
-      table.set(app, netcache::to_string(assoc),
+      cells[a][k] = nb::submit(nb::all_apps()[a], SystemKind::kNetCache, opts);
+    }
+  }
+});
+
+static void BM_Assoc(benchmark::State& state) {
+  const auto a = static_cast<size_t>(state.range(0));
+  const std::string app = nb::all_apps()[a];
+  for (auto _ : state) {
+    for (int k = 0; k < 2; ++k) {
+      const auto& s = cells[a][k].summary();
+      table.set(app, netcache::to_string(kAssocs[k]),
                 100.0 * s.shared_cache_hit_rate);
-      state.counters[netcache::to_string(assoc)] =
+      state.counters[netcache::to_string(kAssocs[k])] =
           100.0 * s.shared_cache_hit_rate;
     }
   }

@@ -9,20 +9,33 @@ using netcache::SystemKind;
 static nb::Table table("Figure 12: hit rate (%) by replacement policy",
                        {"Random", "LFU", "LRU", "FIFO"});
 
-static void BM_Replacement(benchmark::State& state) {
-  const std::string app = nb::all_apps()[static_cast<size_t>(state.range(0))];
-  for (auto _ : state) {
-    for (RingReplacement policy :
-         {RingReplacement::kRandom, RingReplacement::kLfu,
-          RingReplacement::kLru, RingReplacement::kFifo}) {
+static const RingReplacement kPolicies[] = {
+    RingReplacement::kRandom, RingReplacement::kLfu, RingReplacement::kLru,
+    RingReplacement::kFifo};
+
+static nb::CellRef cells[12][4];
+static nb::SweepPlan plan([] {
+  for (int a = 0; a < 12; ++a) {
+    for (int p = 0; p < 4; ++p) {
+      const RingReplacement policy = kPolicies[p];
       nb::SimOptions opts;
       opts.tweak = [policy](netcache::MachineConfig& cfg) {
         cfg.ring.replacement = policy;
       };
-      auto s = nb::simulate(app, SystemKind::kNetCache, opts);
-      table.set(app, netcache::to_string(policy),
+      cells[a][p] = nb::submit(nb::all_apps()[a], SystemKind::kNetCache, opts);
+    }
+  }
+});
+
+static void BM_Replacement(benchmark::State& state) {
+  const auto a = static_cast<size_t>(state.range(0));
+  const std::string app = nb::all_apps()[a];
+  for (auto _ : state) {
+    for (int p = 0; p < 4; ++p) {
+      const auto& s = cells[a][p].summary();
+      table.set(app, netcache::to_string(kPolicies[p]),
                 100.0 * s.shared_cache_hit_rate);
-      state.counters[netcache::to_string(policy)] =
+      state.counters[netcache::to_string(kPolicies[p])] =
           100.0 * s.shared_cache_hit_rate;
     }
   }

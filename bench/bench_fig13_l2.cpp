@@ -12,19 +12,33 @@ static const SystemKind kSystems[] = {
     SystemKind::kNetCache, SystemKind::kLambdaNet, SystemKind::kDmonUpdate,
     SystemKind::kDmonInvalidate};
 static const char* kApps[] = {"gauss", "radix"};
+static const int kL2Kb[] = {16, 32, 64};
+
+static nb::CellRef cells[2][4][3];
+static nb::SweepPlan plan([] {
+  for (int a = 0; a < 2; ++a) {
+    for (int k = 0; k < 4; ++k) {
+      for (int c = 0; c < 3; ++c) {
+        const int kb = kL2Kb[c];
+        nb::SimOptions opts;
+        opts.tweak = [kb](netcache::MachineConfig& cfg) {
+          cfg.l2.size_bytes = kb * 1024;
+        };
+        cells[a][k][c] = nb::submit(kApps[a], kSystems[k], opts);
+      }
+    }
+  }
+});
 
 static void BM_L2Size(benchmark::State& state) {
-  const std::string app = kApps[state.range(0)];
-  const SystemKind kind = kSystems[state.range(1)];
-  std::string row = app + "-" + netcache::to_string(kind);
+  const auto a = static_cast<int>(state.range(0));
+  const auto k = static_cast<int>(state.range(1));
+  std::string row =
+      std::string(kApps[a]) + "-" + netcache::to_string(kSystems[k]);
   for (auto _ : state) {
-    for (int kb : {16, 32, 64}) {
-      nb::SimOptions opts;
-      opts.tweak = [kb](netcache::MachineConfig& cfg) {
-        cfg.l2.size_bytes = kb * 1024;
-      };
-      auto s = nb::simulate(app, kind, opts);
-      std::string col = std::to_string(kb) + "KB";
+    for (int c = 0; c < 3; ++c) {
+      const auto& s = cells[a][k][c].summary();
+      std::string col = std::to_string(kL2Kb[c]) + "KB";
       table.set(row, col, static_cast<double>(s.run_time));
       state.counters[col] = static_cast<double>(s.run_time);
     }

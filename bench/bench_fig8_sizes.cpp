@@ -8,16 +8,29 @@ using netcache::SystemKind;
 static nb::Table table("Figure 8: hit rate (%) vs shared cache size",
                        {"16KB", "32KB", "64KB"});
 
-static void BM_Sizes(benchmark::State& state) {
-  const std::string app = nb::all_apps()[static_cast<size_t>(state.range(0))];
-  for (auto _ : state) {
-    for (int channels : {64, 128, 256}) {
+static const int kChannels[] = {64, 128, 256};
+
+static nb::CellRef cells[12][3];
+static nb::SweepPlan plan([] {
+  for (int a = 0; a < 12; ++a) {
+    for (int c = 0; c < 3; ++c) {
+      const int channels = kChannels[c];
       nb::SimOptions opts;
       opts.tweak = [channels](netcache::MachineConfig& cfg) {
         cfg.ring.channels = channels;
       };
-      auto s = nb::simulate(app, SystemKind::kNetCache, opts);
-      std::string col = std::to_string(channels / 4) + "KB";
+      cells[a][c] = nb::submit(nb::all_apps()[a], SystemKind::kNetCache, opts);
+    }
+  }
+});
+
+static void BM_Sizes(benchmark::State& state) {
+  const auto a = static_cast<size_t>(state.range(0));
+  const std::string app = nb::all_apps()[a];
+  for (auto _ : state) {
+    for (int c = 0; c < 3; ++c) {
+      const auto& s = cells[a][c].summary();
+      std::string col = std::to_string(kChannels[c] / 4) + "KB";
       table.set(app, col, 100.0 * s.shared_cache_hit_rate);
       state.counters[col] = 100.0 * s.shared_cache_hit_rate;
     }

@@ -1,14 +1,19 @@
 // netcache_sim — command-line driver for the simulator. Exposes every knob
 // the paper's parameter-space study varies, plus the repository extensions.
+// --app and --system take comma lists (or "all"); multi-cell invocations fan
+// out across the sweep worker pool (--jobs=N, default NETCACHE_BENCH_JOBS or
+// the hardware thread count).
 //
 //   ./example_netcache_sim --app=gauss --system=netcache --nodes=16
 //   ./example_netcache_sim --app=radix --system=dmon-i --l2-kb=64 --report
+//   ./example_netcache_sim --app=all --system=netcache,lambdanet --jobs=8
 //   ./example_netcache_sim --trace=foo.trace --system=lambdanet
 //   ./example_netcache_sim --help
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "src/apps/synthetic.hpp"
 #include "src/apps/trace.hpp"
@@ -16,6 +21,7 @@
 #include "src/common/sim_error.hpp"
 #include "src/core/machine.hpp"
 #include "src/core/report.hpp"
+#include "src/sweep/sweep.hpp"
 
 using namespace netcache;
 
@@ -25,7 +31,7 @@ struct Options {
   std::string app = "sor";
   std::string trace_path;
   std::string synthetic;
-  SystemKind system = SystemKind::kNetCache;
+  std::string system = "netcache";
   int nodes = 16;
   double scale = 1.0;
   bool paper_size = false;
@@ -38,19 +44,20 @@ struct Options {
   bool prefetch = false;
   bool ring_only_reads = false;
   bool report = false;
+  int jobs = 0;  // 0 = sweep::default_jobs()
 };
 
 void usage() {
   std::printf(
       "netcache_sim — NetCache multiprocessor simulator\n\n"
-      "  --app=NAME         one of:");
+      "  --app=NAMES        comma list or 'all'; one of:");
   for (const auto& n : apps::workload_names()) std::printf(" %s", n.c_str());
   std::printf(
       "\n"
       "  --synthetic=PAT    uniform | hot | prodcons | stream\n"
       "  --trace=FILE       replay a memory-reference trace instead\n"
-      "  --system=S         netcache | netcache-noring | lambdanet | dmon-u"
-      " | dmon-i\n"
+      "  --system=S         comma list or 'all'; netcache | netcache-noring"
+      " | lambdanet | dmon-u | dmon-i\n"
       "  --nodes=N          machine width (default 16)\n"
       "  --scale=X          workload scale factor (default 1.0)\n"
       "  --paper-size       use the paper's Table 4 inputs\n"
@@ -62,7 +69,9 @@ void usage() {
       "  --assoc=A          full | direct\n"
       "  --prefetch         enable sequential prefetch\n"
       "  --ring-only-reads  disable the parallel star-path read start\n"
-      "  --report           print the full per-node report\n");
+      "  --report           print the full per-node report (single cell)\n"
+      "  --jobs=N           sweep worker threads for multi-cell runs\n"
+      "                     (default: NETCACHE_BENCH_JOBS or hardware)\n");
 }
 
 bool parse_flag(const char* arg, const char* name, std::string* out) {
@@ -106,21 +115,14 @@ bool parse(int argc, char** argv, Options* opt) {
     if (parse_flag(a, "--app", &v)) { opt->app = v; continue; }
     if (parse_flag(a, "--trace", &v)) { opt->trace_path = v; continue; }
     if (parse_flag(a, "--synthetic", &v)) { opt->synthetic = v; continue; }
+    if (parse_flag(a, "--system", &v)) { opt->system = v; continue; }
     if (parse_flag(a, "--nodes", &v)) { opt->nodes = static_cast<int>(parse_int("nodes", v)); continue; }
     if (parse_flag(a, "--scale", &v)) { opt->scale = parse_double("scale", v); continue; }
     if (parse_flag(a, "--l2-kb", &v)) { opt->l2_kb = static_cast<int>(parse_int("l2-kb", v)); continue; }
     if (parse_flag(a, "--channels", &v)) { opt->channels = static_cast<int>(parse_int("channels", v)); continue; }
     if (parse_flag(a, "--gbps", &v)) { opt->gbps = parse_double("gbps", v); continue; }
     if (parse_flag(a, "--mem", &v)) { opt->mem = parse_int("mem", v); continue; }
-    if (parse_flag(a, "--system", &v)) {
-      if (v == "netcache") opt->system = SystemKind::kNetCache;
-      else if (v == "netcache-noring") opt->system = SystemKind::kNetCacheNoRing;
-      else if (v == "lambdanet") opt->system = SystemKind::kLambdaNet;
-      else if (v == "dmon-u") opt->system = SystemKind::kDmonUpdate;
-      else if (v == "dmon-i") opt->system = SystemKind::kDmonInvalidate;
-      else { std::fprintf(stderr, "unknown system '%s'\n", v.c_str()); return false; }
-      continue;
-    }
+    if (parse_flag(a, "--jobs", &v)) { opt->jobs = static_cast<int>(parse_int("jobs", v)); continue; }
     if (parse_flag(a, "--policy", &v)) {
       if (v == "random") opt->policy = RingReplacement::kRandom;
       else if (v == "lfu") opt->policy = RingReplacement::kLfu;
@@ -141,6 +143,130 @@ bool parse(int argc, char** argv, Options* opt) {
   return true;
 }
 
+std::vector<std::string> split_list(const std::string& v) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= v.size()) {
+    std::size_t comma = v.find(',', start);
+    if (comma == std::string::npos) comma = v.size();
+    if (comma > start) out.push_back(v.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
+bool parse_system(const std::string& v, SystemKind* out) {
+  if (v == "netcache") *out = SystemKind::kNetCache;
+  else if (v == "netcache-noring") *out = SystemKind::kNetCacheNoRing;
+  else if (v == "lambdanet") *out = SystemKind::kLambdaNet;
+  else if (v == "dmon-u") *out = SystemKind::kDmonUpdate;
+  else if (v == "dmon-i") *out = SystemKind::kDmonInvalidate;
+  else return false;
+  return true;
+}
+
+std::vector<SystemKind> system_list(const std::string& v) {
+  if (v == "all") {
+    return {SystemKind::kNetCache, SystemKind::kNetCacheNoRing,
+            SystemKind::kLambdaNet, SystemKind::kDmonUpdate,
+            SystemKind::kDmonInvalidate};
+  }
+  std::vector<SystemKind> out;
+  for (const auto& s : split_list(v)) {
+    SystemKind kind;
+    if (!parse_system(s, &kind)) {
+      throw ConfigError("system", s, "unknown system");
+    }
+    out.push_back(kind);
+  }
+  return out;
+}
+
+void apply_knobs(const Options& opt, MachineConfig* config) {
+  config->nodes = opt.nodes;
+  config->l2.size_bytes = opt.l2_kb * 1024;
+  config->ring.channels = opt.channels;
+  config->gbit_per_s = opt.gbps;
+  config->mem_block_read_cycles = opt.mem;
+  config->ring.replacement = opt.policy;
+  config->ring.associativity = opt.assoc;
+  config->sequential_prefetch = opt.prefetch;
+  config->reads_start_on_star = !opt.ring_only_reads;
+}
+
+std::unique_ptr<apps::Workload> build_workload(const Options& opt,
+                                               const std::string& app) {
+  if (!opt.trace_path.empty()) {
+    return apps::TraceWorkload::from_file(opt.trace_path);
+  }
+  if (!opt.synthetic.empty()) {
+    apps::SyntheticSpec spec;
+    spec.pattern = opt.synthetic;
+    return apps::make_synthetic(spec);
+  }
+  apps::WorkloadParams params;
+  params.scale = opt.scale;
+  params.paper_size = opt.paper_size;
+  return apps::make_workload(app, params);
+}
+
+// The original single-machine path: build, run, print (optionally the full
+// per-node report, which needs the live machine's stats).
+int run_single(const Options& opt, const std::string& app, SystemKind kind) {
+  MachineConfig config;
+  config.system = kind;
+  apply_knobs(opt, &config);
+
+  core::Machine machine(config);
+  auto workload = build_workload(opt, app);
+  auto summary = machine.run(*workload);
+  if (opt.report) {
+    std::printf("%s", core::detailed_report(config, machine.stats(),
+                                            summary).c_str());
+  } else {
+    std::printf("%s\n", core::format_summary(summary).c_str());
+  }
+  return summary.verified ? 0 : 1;
+}
+
+// Multi-cell path: every (app, system) pair becomes one sweep cell; results
+// print in submission order, so the output is independent of --jobs.
+int run_sweep(const Options& opt, const std::vector<std::string>& app_names,
+              const std::vector<SystemKind>& kinds) {
+  sweep::SweepDriver driver(opt.jobs);
+  for (const auto& app : app_names) {
+    for (SystemKind kind : kinds) {
+      sweep::Cell cell;
+      cell.app = app;
+      cell.system = kind;
+      cell.nodes = opt.nodes;
+      cell.scale = opt.scale;
+      cell.paper_size = opt.paper_size;
+      cell.tweak = [opt](MachineConfig& config) { apply_knobs(opt, &config); };
+      if (!opt.trace_path.empty() || !opt.synthetic.empty()) {
+        Options o = opt;
+        cell.make_workload = [o, app] { return build_workload(o, app); };
+      }
+      driver.submit(std::move(cell));
+    }
+  }
+  const auto& results = driver.run();
+  int rc = 0;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const std::string label = driver.cell(i).label();
+    if (!results[i].ok) {
+      std::fprintf(stderr, "%s: FAILED: %s\n", label.c_str(),
+                   results[i].error.c_str());
+      rc = 1;
+      continue;
+    }
+    std::printf("%-24s %s\n", label.c_str(),
+                core::format_summary(results[i].summary).c_str());
+    if (!results[i].summary.verified) rc = 1;
+  }
+  return rc;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) try {
@@ -150,41 +276,23 @@ int main(int argc, char** argv) try {
     return 1;
   }
 
-  MachineConfig config;
-  config.nodes = opt.nodes;
-  config.system = opt.system;
-  config.l2.size_bytes = opt.l2_kb * 1024;
-  config.ring.channels = opt.channels;
-  config.gbit_per_s = opt.gbps;
-  config.mem_block_read_cycles = opt.mem;
-  config.ring.replacement = opt.policy;
-  config.ring.associativity = opt.assoc;
-  config.sequential_prefetch = opt.prefetch;
-  config.reads_start_on_star = !opt.ring_only_reads;
-
-  core::Machine machine(config);
-  std::unique_ptr<apps::Workload> workload;
-  if (!opt.trace_path.empty()) {
-    workload = apps::TraceWorkload::from_file(opt.trace_path);
-  } else if (!opt.synthetic.empty()) {
-    apps::SyntheticSpec spec;
-    spec.pattern = opt.synthetic;
-    workload = apps::make_synthetic(spec);
-  } else {
-    apps::WorkloadParams params;
-    params.scale = opt.scale;
-    params.paper_size = opt.paper_size;
-    workload = apps::make_workload(opt.app, params);
+  std::vector<std::string> app_names =
+      opt.app == "all" ? apps::workload_names() : split_list(opt.app);
+  std::vector<SystemKind> kinds = system_list(opt.system);
+  if (app_names.empty() || kinds.empty()) {
+    throw ConfigError("app/system", opt.app + "/" + opt.system,
+                      "expected at least one value");
   }
 
-  auto summary = machine.run(*workload);
+  if (app_names.size() * kinds.size() == 1) {
+    return run_single(opt, app_names[0], kinds[0]);
+  }
   if (opt.report) {
-    std::printf("%s", core::detailed_report(config, machine.stats(),
-                                            summary).c_str());
-  } else {
-    std::printf("%s\n", core::format_summary(summary).c_str());
+    std::fprintf(stderr,
+                 "netcache_sim: --report needs a single app/system cell\n");
+    return 1;
   }
-  return summary.verified ? 0 : 1;
+  return run_sweep(opt, app_names, kinds);
 } catch (const netcache::SimError& e) {
   // Bad configuration or a diagnosed simulation failure (deadlock/watchdog):
   // structured message, nonzero exit, no core dump.

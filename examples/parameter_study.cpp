@@ -1,51 +1,66 @@
 // Example: the paper's Section 5.4 parameter-space methodology on one
 // application — sweep the memory block read latency and watch the NetCache
-// advantage grow as the processor/memory gap widens.
+// advantage grow as the processor/memory gap widens. The twelve
+// (latency, system) cells fan out across the sweep worker pool; the printed
+// table is identical whatever the worker count.
 //
-//   ./example_parameter_study [app] [scale]
+//   ./example_parameter_study [app] [scale] [jobs]
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
-#include "src/apps/workload.hpp"
 #include "src/core/machine.hpp"
+#include "src/sweep/sweep.hpp"
 
 using namespace netcache;
-
-namespace {
-
-Cycles run_once(const std::string& app, SystemKind kind, Cycles mem_latency,
-                double scale) {
-  MachineConfig config;
-  config.system = kind;
-  config.mem_block_read_cycles = mem_latency;
-  core::Machine machine(config);
-  apps::WorkloadParams params;
-  params.scale = scale;
-  auto workload = apps::make_workload(app, params);
-  auto summary = machine.run(*workload);
-  if (!summary.verified) {
-    std::fprintf(stderr, "verification failed\n");
-    std::exit(1);
-  }
-  return summary.run_time;
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   std::string app = argc > 1 ? argv[1] : "mg";
   double scale = argc > 2 ? std::atof(argv[2]) : 1.0;
+  int jobs = argc > 3 ? std::atoi(argv[3]) : 0;  // 0 = default_jobs()
 
-  std::printf("memory-latency sweep for %s (16 nodes)\n\n", app.c_str());
+  const std::vector<Cycles> latencies = {44, 60, 76, 92, 108, 140};
+
+  sweep::SweepDriver driver(jobs);
+  std::vector<std::size_t> nc_cells, ln_cells;
+  for (Cycles mem : latencies) {
+    for (SystemKind kind : {SystemKind::kNetCache, SystemKind::kLambdaNet}) {
+      sweep::Cell cell;
+      cell.app = app;
+      cell.system = kind;
+      cell.scale = scale;
+      cell.tweak = [mem](MachineConfig& config) {
+        config.mem_block_read_cycles = mem;
+      };
+      std::size_t index = driver.submit(std::move(cell));
+      (kind == SystemKind::kNetCache ? nc_cells : ln_cells).push_back(index);
+    }
+  }
+  const auto& results = driver.run();
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (!results[i].ok) {
+      std::fprintf(stderr, "%s: %s\n", driver.cell(i).label().c_str(),
+                   results[i].error.c_str());
+      return 1;
+    }
+    if (!results[i].summary.verified) {
+      std::fprintf(stderr, "%s: verification failed\n",
+                   driver.cell(i).label().c_str());
+      return 1;
+    }
+  }
+
+  std::printf("memory-latency sweep for %s (16 nodes, %d worker(s))\n\n",
+              app.c_str(), driver.jobs());
   std::printf("%8s %12s %12s %14s\n", "mem(pc)", "NetCache", "LambdaNet",
               "NC advantage");
-  for (Cycles mem : {44, 60, 76, 92, 108, 140}) {
-    Cycles nc = run_once(app, SystemKind::kNetCache, mem, scale);
-    Cycles ln = run_once(app, SystemKind::kLambdaNet, mem, scale);
+  for (std::size_t i = 0; i < latencies.size(); ++i) {
+    Cycles nc = results[nc_cells[i]].summary.run_time;
+    Cycles ln = results[ln_cells[i]].summary.run_time;
     std::printf("%8lld %12lld %12lld %13.1f%%\n",
-                static_cast<long long>(mem), static_cast<long long>(nc),
-                static_cast<long long>(ln),
+                static_cast<long long>(latencies[i]),
+                static_cast<long long>(nc), static_cast<long long>(ln),
                 100.0 * (static_cast<double>(ln) / nc - 1.0));
   }
   std::printf(

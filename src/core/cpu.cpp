@@ -16,9 +16,10 @@ sim::Task<void> Cpu::read(Addr addr) {
   NodeStats& st = node_->stats();
   ++st.reads;
   const Cycles t0 = engine_->now();
+  const std::uint16_t tag = sim::make_trace_tag(id(), sim::TraceTagKind::kRead);
 
   // L1 tag check (1 pcycle; hits complete here).
-  co_await engine_->delay(lat_->l1_tag_check);
+  co_await engine_->delay(lat_->l1_tag_check, tag);
   if (node_->l1().probe(addr, engine_->now())) {
     ++st.l1_hits;
     st.read_cycles += engine_->now() - t0;
@@ -27,10 +28,11 @@ sim::Task<void> Cpu::read(Addr addr) {
   }
 
   // L2 tag check; a hit costs l2_hit_cycles total.
-  co_await engine_->delay(lat_->l2_tag_check);
+  co_await engine_->delay(lat_->l2_tag_check, tag);
   if (node_->l2().probe(addr, engine_->now())) {
     co_await engine_->delay(config_->l2_hit_cycles - lat_->l1_tag_check -
-                            lat_->l2_tag_check);
+                                lat_->l2_tag_check,
+                            tag);
     ++st.l2_hits;
     if (config_->sequential_prefetch &&
         node_->take_prefetched(block_base(addr, config_->l2.block_bytes))) {
@@ -55,7 +57,8 @@ sim::Task<void> Cpu::read(Addr addr) {
       ++st.prefetches_useful;
       ++st.l2_hits;
       co_await engine_->delay(config_->l2_hit_cycles - lat_->l1_tag_check -
-                              lat_->l2_tag_check);
+                                  lat_->l2_tag_check,
+                              tag);
       node_->l1().insert(addr, cache::LineState::kValid, engine_->now());
       st.read_cycles += engine_->now() - t0;
       st.read_latency_hist.record(engine_->now() - t0);
@@ -125,7 +128,8 @@ sim::Task<void> Cpu::prefetch(Addr block) {
 sim::Task<void> Cpu::write(Addr addr, int bytes) {
   NodeStats& st = node_->stats();
   ++st.writes;
-  co_await engine_->delay(1);
+  co_await engine_->delay(
+      1, sim::make_trace_tag(id(), sim::TraceTagKind::kWrite));
   const bool priv = as_->is_private(addr);
   while (!node_->wb().add(addr, bytes, priv)) {
     const Cycles w0 = engine_->now();
@@ -138,7 +142,8 @@ sim::Task<void> Cpu::write(Addr addr, int bytes) {
 sim::Task<void> Cpu::compute(Cycles cycles) {
   if (cycles <= 0) co_return;
   node_->stats().compute_cycles += cycles;
-  co_await engine_->delay(cycles);
+  co_await engine_->delay(
+      cycles, sim::make_trace_tag(id(), sim::TraceTagKind::kCompute));
 }
 
 }  // namespace netcache::core

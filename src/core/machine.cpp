@@ -105,6 +105,8 @@ RunSummary Machine::run(apps::Workload& workload,
   s.read_latency_p90 = s.totals.read_latency_hist.quantile(0.90);
   s.read_latency_p99 = s.totals.read_latency_hist.quantile(0.99);
   s.events = engine_.events_executed();
+  s.wheel_pushes = engine_.queue_stats().wheel_pushes;
+  s.overflow_pushes = engine_.queue_stats().overflow_pushes;
   s.wall_seconds = wall_seconds;
   s.verified = workload.verify();
   return s;

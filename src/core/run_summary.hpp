@@ -34,6 +34,12 @@ struct RunSummary {
 
   std::uint64_t events = 0;
 
+  // Timing-wheel occupancy for this run (deterministic, like events): how
+  // many scheduled events landed in an O(1) wheel bucket vs the far-future
+  // overflow heap. Overflow traffic is the signal for re-sizing the wheel.
+  std::uint64_t wheel_pushes = 0;
+  std::uint64_t overflow_pushes = 0;
+
   // Engine throughput (wall-clock observability; not part of the simulated
   // results, so determinism comparisons should ignore these).
   double wall_seconds = 0.0;

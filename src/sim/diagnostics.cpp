@@ -13,6 +13,18 @@ const char* to_string(TraceKind kind) {
   return "?";
 }
 
+const char* to_string(TraceTagKind kind) {
+  switch (kind) {
+    case TraceTagKind::kNone: return "untagged";
+    case TraceTagKind::kRead: return "read";
+    case TraceTagKind::kWrite: return "write";
+    case TraceTagKind::kCompute: return "compute";
+    case TraceTagKind::kSync: return "sync";
+    case TraceTagKind::kGrant: return "grant";
+  }
+  return "?";
+}
+
 std::string TraceRing::dump() const {
   std::string out;
   if (!enabled()) return out;
@@ -24,9 +36,20 @@ std::string TraceRing::dump() const {
                                : ring_.size());
   out += line;
   for_each_tail([&](const TraceRecord& r) {
+    char what[32] = "";
+    if (r.user_tag != 0) {
+      NodeId node = trace_tag_node(r.user_tag);
+      if (node != kNoNode) {
+        std::snprintf(what, sizeof(what), " %s@n%d",
+                      to_string(trace_tag_kind(r.user_tag)), node);
+      } else {
+        std::snprintf(what, sizeof(what), " %s",
+                      to_string(trace_tag_kind(r.user_tag)));
+      }
+    }
     std::snprintf(line, sizeof(line),
-                  "  t=%" PRId64 " %-8s tag=%" PRIu64 " queue_depth=%u\n",
-                  r.time, to_string(r.kind), r.tag, r.queue_depth);
+                  "  t=%" PRId64 " %-8s seq=%" PRIu64 "%s queue_depth=%u\n",
+                  r.time, to_string(r.kind), r.tag, what, r.queue_depth);
     out += line;
   });
   return out;

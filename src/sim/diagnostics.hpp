@@ -96,11 +96,42 @@ enum class TraceKind : std::uint8_t { kResume, kCallback };
 
 const char* to_string(TraceKind kind);
 
+/// Protocol-level meaning of a scheduled event, carried in the high bits of
+/// the optional 16-bit trace tag so a failure-report tail reads as "node 3
+/// read" instead of a bare sequence number.
+enum class TraceTagKind : std::uint8_t {
+  kNone = 0,
+  kRead = 1,     // CPU load walking the hierarchy
+  kWrite = 2,    // CPU store through the write buffer
+  kCompute = 3,  // modeled ALU/FPU time
+  kSync = 4,     // WaitList notify (locks, barriers, buffer waits)
+  kGrant = 5,    // Resource handoff to the next FIFO waiter
+};
+
+const char* to_string(TraceTagKind kind);
+
+/// Packs (node, kind) into the 16-bit event tag: kind in the top 4 bits,
+/// node id + 1 in the low 12 (0 = not node-bound, so kNoNode round-trips).
+constexpr std::uint16_t make_trace_tag(NodeId node, TraceTagKind kind) {
+  return static_cast<std::uint16_t>(
+      (static_cast<unsigned>(kind) << 12) |
+      (static_cast<unsigned>(node + 1) & 0x0FFFu));
+}
+
+constexpr TraceTagKind trace_tag_kind(std::uint16_t tag) {
+  return static_cast<TraceTagKind>(tag >> 12);
+}
+
+constexpr NodeId trace_tag_node(std::uint16_t tag) {
+  return static_cast<NodeId>(tag & 0x0FFFu) - 1;
+}
+
 /// One executed event, as seen by the engine's run loop.
 struct TraceRecord {
   Cycles time = 0;
   std::uint64_t tag = 0;  // the event's insertion sequence number
   std::uint32_t queue_depth = 0;
+  std::uint16_t user_tag = 0;  // make_trace_tag(node, kind), 0 if untagged
   TraceKind kind = TraceKind::kResume;
 };
 
@@ -119,8 +150,8 @@ class TraceRing {
   }
 
   void record(Cycles time, TraceKind kind, std::uint64_t tag,
-              std::uint32_t queue_depth) {
-    ring_[head_] = TraceRecord{time, tag, queue_depth, kind};
+              std::uint32_t queue_depth, std::uint16_t user_tag = 0) {
+    ring_[head_] = TraceRecord{time, tag, queue_depth, user_tag, kind};
     head_ = head_ + 1 == ring_.size() ? 0 : head_ + 1;
     ++recorded_;
   }

@@ -36,7 +36,8 @@ Cycles Engine::run(const RunLimits& limits) {
     if (trace_.enabled()) {
       trace_.record(ev.time,
                     ev.is_resume() ? TraceKind::kResume : TraceKind::kCallback,
-                    ev.seq, static_cast<std::uint32_t>(queue_.size()));
+                    ev.seq, static_cast<std::uint32_t>(queue_.size()),
+                    ev.tag);
     }
     ev.fire();
     ++events_executed_;
@@ -65,8 +66,10 @@ void Engine::describe_failure_context(std::string& out) const {
   char line[160];
   std::snprintf(line, sizeof(line),
                 "engine state: t=%" PRId64 " events_executed=%" PRIu64
-                " queue_depth=%zu\n",
-                now_, events_executed_, queue_.size());
+                " queue_depth=%zu wheel_pushes=%" PRIu64
+                " overflow_pushes=%" PRIu64 "\n",
+                now_, events_executed_, queue_.size(),
+                queue_.stats().wheel_pushes, queue_.stats().overflow_pushes);
   out += line;
   if (!blocked_.empty()) {
     out += format_blocked_report(blocked_, now_);

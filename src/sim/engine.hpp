@@ -27,26 +27,28 @@ class Engine : public FailureContext {
 
   /// Schedules `action` (any callable) to run at now() + delay. The callable
   /// is stored inline in the event record; prefer schedule_resume when the
-  /// action is just resuming a coroutine.
+  /// action is just resuming a coroutine. `tag` (make_trace_tag) annotates
+  /// the event in the opt-in trace ring; 0 leaves it untagged.
   template <typename F>
-  void schedule(Cycles delay, F&& action) {
+  void schedule(Cycles delay, F&& action, std::uint16_t tag = 0) {
     NC_ASSERT(delay >= 0, "cannot schedule into the past");
-    queue_.push(now_ + delay, std::forward<F>(action));
+    queue_.push(now_ + delay, std::forward<F>(action), tag);
   }
 
   /// Fast path: schedules `h.resume()` at now() + delay with no closure.
-  void schedule_resume(Cycles delay, std::coroutine_handle<> h) {
+  void schedule_resume(Cycles delay, std::coroutine_handle<> h,
+                       std::uint16_t tag = 0) {
     NC_ASSERT(delay >= 0, "cannot schedule into the past");
-    queue_.push_resume(now_ + delay, h);
+    queue_.push_resume(now_ + delay, h, tag);
   }
 
   /// Bulk fast path: schedules `n` resumes at now() + delay in one bucket
   /// insertion (see EventQueue::push_resume_batch). Fire order is the array
-  /// order, identical to n schedule_resume calls.
+  /// order, identical to n schedule_resume calls. All n share `tag`.
   void schedule_resume_batch(Cycles delay, const std::coroutine_handle<>* hs,
-                             std::size_t n) {
+                             std::size_t n, std::uint16_t tag = 0) {
     NC_ASSERT(delay >= 0, "cannot schedule into the past");
-    queue_.push_resume_batch(now_ + delay, hs, n);
+    queue_.push_resume_batch(now_ + delay, hs, n, tag);
   }
 
   /// Detaches `t` as an independent process starting at now() + delay.
@@ -61,22 +63,28 @@ class Engine : public FailureContext {
   Cycles run(const RunLimits& limits = {});
 
   /// Awaitable that suspends the current coroutine for `delay` cycles.
-  /// Usage: `co_await engine.delay(n);`
-  auto delay(Cycles delay) {
+  /// Usage: `co_await engine.delay(n);` — `tag` annotates the wakeup event
+  /// in the trace ring (make_trace_tag).
+  auto delay(Cycles delay, std::uint16_t tag = 0) {
     struct Awaiter {
       Engine* eng;
       Cycles d;
+      std::uint16_t tag;
       bool await_ready() const noexcept { return d <= 0; }
       void await_suspend(std::coroutine_handle<> h) {
-        eng->schedule_resume(d, h);
+        eng->schedule_resume(d, h, tag);
       }
       void await_resume() const noexcept {}
     };
-    return Awaiter{this, delay};
+    return Awaiter{this, delay, tag};
   }
 
   /// Number of events executed so far (diagnostic).
   std::uint64_t events_executed() const { return events_executed_; }
+
+  /// Timing-wheel occupancy counters: where pushed events landed (O(1) wheel
+  /// bucket vs overflow heap) — the data for sizing kWheelSize.
+  const EventQueueStats& queue_stats() const { return queue_.stats(); }
 
   /// Suspended waiters currently registered with this engine. Sync and
   /// resource primitives add themselves here while blocked so a drained

@@ -35,21 +35,27 @@ void EventQueue::insert(Event&& e) {
   ++size_;
 }
 
-void EventQueue::place(Event&& e) {
+void EventQueue::place(Event&& e, bool account) {
   NC_ASSERT(e.time >= cursor_, "event below cursor");
   if (e.time - cursor_ < static_cast<Cycles>(kWheelSize)) {
     std::size_t idx = static_cast<std::size_t>(e.time) & kMask;
     wheel_[idx].push_back(std::move(e));
     occupied_[idx >> 6] |= std::uint64_t{1} << (idx & 63);
+    if (account) ++stats_.wheel_pushes;
   } else {
     overflow_.push_back(std::move(e));
     std::push_heap(overflow_.begin(), overflow_.end(), Later{});
+    if (account) {
+      ++stats_.overflow_pushes;
+      stats_.max_overflow_size =
+          std::max<std::uint64_t>(stats_.max_overflow_size, overflow_.size());
+    }
   }
 }
 
 void EventQueue::push_resume_batch(Cycles time,
                                    const std::coroutine_handle<>* hs,
-                                   std::size_t n) {
+                                   std::size_t n, std::uint16_t tag) {
   if (n == 0) return;
   if (size_ == 0) {
     cursor_ = time;
@@ -61,14 +67,18 @@ void EventQueue::push_resume_batch(Cycles time,
     auto& bucket = wheel_[idx];
     bucket.reserve(bucket.size() + n);
     for (std::size_t i = 0; i < n; ++i) {
-      bucket.push_back(Event::make_resume(time, next_seq_++, hs[i]));
+      bucket.push_back(Event::make_resume(time, next_seq_++, hs[i], tag));
     }
     occupied_[idx >> 6] |= std::uint64_t{1} << (idx & 63);
+    stats_.wheel_pushes += n;
   } else {
     for (std::size_t i = 0; i < n; ++i) {
-      overflow_.push_back(Event::make_resume(time, next_seq_++, hs[i]));
+      overflow_.push_back(Event::make_resume(time, next_seq_++, hs[i], tag));
       std::push_heap(overflow_.begin(), overflow_.end(), Later{});
     }
+    stats_.overflow_pushes += n;
+    stats_.max_overflow_size =
+        std::max<std::uint64_t>(stats_.max_overflow_size, overflow_.size());
   }
   size_ += n;
 }
@@ -92,7 +102,10 @@ void EventQueue::rebuild(Cycles new_cursor) {
     occupied_[w] = 0;
   }
   cursor_ = new_cursor;
-  for (auto& e : pending) place(std::move(e));
+  // Re-bucketing relocates events that were already accounted at insertion;
+  // only the rebuild itself is counted.
+  for (auto& e : pending) place(std::move(e), /*account=*/false);
+  ++stats_.rebuilds;
 }
 
 Cycles EventQueue::wheel_next_time() const {

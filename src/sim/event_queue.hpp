@@ -36,7 +36,8 @@ class Event {
 
   Event() = default;
 
-  Event(Event&& o) noexcept : time(o.time), seq(o.seq), ops_(o.ops_) {
+  Event(Event&& o) noexcept
+      : time(o.time), seq(o.seq), tag(o.tag), ops_(o.ops_) {
     if (ops_) {
       ops_->relocate(storage_, o.storage_);
     } else {
@@ -51,6 +52,7 @@ class Event {
       reset();
       time = o.time;
       seq = o.seq;
+      tag = o.tag;
       ops_ = o.ops_;
       if (ops_) {
         ops_->relocate(storage_, o.storage_);
@@ -68,20 +70,23 @@ class Event {
   ~Event() { reset(); }
 
   static Event make_resume(Cycles time, std::uint64_t seq,
-                           std::coroutine_handle<> h) {
+                           std::coroutine_handle<> h, std::uint16_t tag = 0) {
     Event e;
     e.time = time;
     e.seq = seq;
+    e.tag = tag;
     e.handle_ = h.address();
     return e;
   }
 
   template <typename F>
-  static Event make_callback(Cycles time, std::uint64_t seq, F&& f) {
+  static Event make_callback(Cycles time, std::uint64_t seq, F&& f,
+                             std::uint16_t tag = 0) {
     using Fn = std::decay_t<F>;
     Event e;
     e.time = time;
     e.seq = seq;
+    e.tag = tag;
     if constexpr (sizeof(Fn) <= kInlineBytes &&
                   alignof(Fn) <= alignof(std::max_align_t) &&
                   std::is_nothrow_move_constructible_v<Fn>) {
@@ -114,6 +119,10 @@ class Event {
 
   Cycles time = 0;
   std::uint64_t seq = 0;
+  /// Optional protocol tag (see make_trace_tag in diagnostics.hpp): node id
+  /// in the low 12 bits, transaction kind in the high 4. Copied into the
+  /// TraceRing record when the event fires; 0 means untagged.
+  std::uint16_t tag = 0;
 
  private:
   struct Ops {
@@ -153,6 +162,29 @@ class Event {
   };
 };
 
+/// Where pushed events landed, and how often the structures degraded —
+/// the observability needed to tune kWheelSize against real workloads
+/// (gauss/wf have the longest TDMA frames and stress the overflow heap).
+struct EventQueueStats {
+  /// Events that landed in an O(1) wheel bucket on insertion.
+  std::uint64_t wheel_pushes = 0;
+  /// Events whose delay exceeded the wheel horizon (overflow min-heap,
+  /// O(log n) push/pop).
+  std::uint64_t overflow_pushes = 0;
+  /// Full re-bucketings triggered by below-cursor pushes (engine never does
+  /// this; nonzero only in direct queue tests).
+  std::uint64_t rebuilds = 0;
+  /// High-water mark of the overflow heap.
+  std::uint64_t max_overflow_size = 0;
+
+  double overflow_fraction() const {
+    std::uint64_t total = wheel_pushes + overflow_pushes;
+    return total > 0 ? static_cast<double>(overflow_pushes) /
+                           static_cast<double>(total)
+                     : 0.0;
+  }
+};
+
 /// Hierarchical timing wheel with far-future overflow heap. Ties in time
 /// break by insertion order, which keeps the simulation deterministic.
 class EventQueue {
@@ -168,22 +200,24 @@ class EventQueue {
   static constexpr std::size_t kWheelSize = std::size_t{1} << kWheelBits;
 
   template <typename F>
-  void push(Cycles time, F&& action) {
-    insert(Event::make_callback(time, next_seq_++, std::forward<F>(action)));
+  void push(Cycles time, F&& action, std::uint16_t tag = 0) {
+    insert(Event::make_callback(time, next_seq_++, std::forward<F>(action),
+                                tag));
   }
 
   /// Fast path: schedule a bare coroutine resume; no closure is built.
-  void push_resume(Cycles time, std::coroutine_handle<> h) {
-    insert(Event::make_resume(time, next_seq_++, h));
+  void push_resume(Cycles time, std::coroutine_handle<> h,
+                   std::uint16_t tag = 0) {
+    insert(Event::make_resume(time, next_seq_++, h, tag));
   }
 
   /// Bulk fast path: schedules `n` same-time resumes in one call — the
   /// target bucket is located once and the handles appended in order (a
   /// barrier release resumes every party at one instant; pushing them one by
   /// one re-ran the bucket-selection logic per waiter). Fire order matches n
-  /// individual push_resume calls exactly.
+  /// individual push_resume calls exactly. All n events share `tag`.
   void push_resume_batch(Cycles time, const std::coroutine_handle<>* hs,
-                         std::size_t n);
+                         std::size_t n, std::uint16_t tag = 0);
 
   bool empty() const { return size_ == 0; }
   std::size_t size() const { return size_; }
@@ -194,9 +228,12 @@ class EventQueue {
   /// Removes and returns the earliest event (FIFO among same-time events).
   Event pop();
 
+  /// Wheel/overflow occupancy counters since construction.
+  const EventQueueStats& stats() const { return stats_; }
+
  private:
   void insert(Event&& e);
-  void place(Event&& e);
+  void place(Event&& e, bool account = true);
   /// Re-buckets every wheel event relative to a lower cursor. Only reachable
   /// by pushing a time below the cursor, which the engine never does (its
   /// clock is monotone); unit tests may.
@@ -211,6 +248,7 @@ class EventQueue {
   Cycles cursor_ = 0;            // all pending events have time >= cursor_
   std::size_t size_ = 0;
   std::uint64_t next_seq_ = 0;
+  EventQueueStats stats_;
 };
 
 }  // namespace netcache::sim

@@ -14,7 +14,8 @@ void Resource::release() {
   // at the current instant.
   auto h = waiters_.front();
   waiters_.pop_front();
-  engine_->schedule_resume(0, h);
+  engine_->schedule_resume(0, h,
+                           make_trace_tag(kNoNode, TraceTagKind::kGrant));
 }
 
 Task<void> Resource::use(Cycles service, WaiterTag tag) {

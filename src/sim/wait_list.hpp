@@ -40,10 +40,12 @@ class WaitList {
   }
 
   /// Resumes every waiter at the current time, in wait() order, via a single
-  /// bulk push into the current timing-wheel bucket.
+  /// bulk push into the current timing-wheel bucket. The resume events carry
+  /// a sync trace tag so failure-report tails show notify storms as such.
   void notify_all(Engine& engine) {
     if (waiters_.empty()) return;
-    engine.schedule_resume_batch(0, waiters_.data(), waiters_.size());
+    engine.schedule_resume_batch(0, waiters_.data(), waiters_.size(),
+                                 make_trace_tag(kNoNode, TraceTagKind::kSync));
     waiters_.clear();
   }
 

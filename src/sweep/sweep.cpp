@@ -1,0 +1,156 @@
+#include "src/sweep/sweep.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+#include "src/apps/workload.hpp"
+#include "src/common/nc_assert.hpp"
+#include "src/core/machine.hpp"
+
+namespace netcache::sweep {
+
+std::string Cell::label() const {
+  std::string l = make_workload ? (app.empty() ? "<custom>" : app) : app;
+  l += "/";
+  l += to_string(system);
+  return l;
+}
+
+CellResult run_cell(const Cell& cell) {
+  CellResult r;
+  try {
+    MachineConfig cfg;
+    cfg.nodes = cell.nodes;
+    cfg.system = cell.system;
+    if (cell.tweak) cell.tweak(cfg);
+    core::Machine machine(cfg);
+    std::unique_ptr<apps::Workload> workload;
+    if (cell.make_workload) {
+      workload = cell.make_workload();
+    } else {
+      apps::WorkloadParams params;
+      params.scale = cell.scale;
+      params.paper_size = cell.paper_size;
+      workload = apps::make_workload(cell.app, params);
+    }
+    r.summary = machine.run(*workload, cell.limits);
+    r.ok = true;
+  } catch (const std::exception& e) {
+    r.ok = false;
+    r.error = e.what();
+  }
+  return r;
+}
+
+int default_jobs() {
+  if (const char* env = std::getenv("NETCACHE_BENCH_JOBS")) {
+    char* end = nullptr;
+    long n = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && n >= 1) return static_cast<int>(n);
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw >= 1 ? static_cast<int>(hw) : 1;
+}
+
+namespace {
+
+/// Per-worker task queue. Owners pop from the front; thieves steal from the
+/// back, so a victim and its thief contend only on the mutex, never on the
+/// same end of a lock-free deque — simple, and the per-cell work (an entire
+/// simulation) dwarfs the locking cost by many orders of magnitude.
+struct WorkerQueue {
+  std::mutex mutex;
+  std::deque<std::size_t> tasks;
+
+  bool pop_front(std::size_t* out) {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (tasks.empty()) return false;
+    *out = tasks.front();
+    tasks.pop_front();
+    return true;
+  }
+
+  bool steal_back(std::size_t* out) {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (tasks.empty()) return false;
+    *out = tasks.back();
+    tasks.pop_back();
+    return true;
+  }
+};
+
+}  // namespace
+
+void run_tasks(int jobs, std::vector<std::function<void()>>& tasks) {
+  if (tasks.empty()) return;
+  if (jobs <= 0) jobs = default_jobs();
+  if (jobs == 1) {
+    for (auto& task : tasks) task();
+    return;
+  }
+  const int workers =
+      static_cast<int>(std::min<std::size_t>(tasks.size(),
+                                             static_cast<std::size_t>(jobs)));
+  std::vector<WorkerQueue> queues(static_cast<std::size_t>(workers));
+  // Seed round-robin: contiguous runs of one figure's cells (often similar
+  // cost) spread across the pool instead of landing on one worker.
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    queues[i % static_cast<std::size_t>(workers)].tasks.push_back(i);
+  }
+  auto worker_loop = [&](int me) {
+    std::size_t idx;
+    for (;;) {
+      if (queues[static_cast<std::size_t>(me)].pop_front(&idx)) {
+        tasks[idx]();
+        continue;
+      }
+      // Own queue empty: steal. One full scan finding nothing means every
+      // queue is drained (tasks are never re-queued), so the worker retires;
+      // in-flight tasks on other workers need no help from this one.
+      bool stole = false;
+      for (int step = 1; step < workers; ++step) {
+        int victim = (me + step) % workers;
+        if (queues[static_cast<std::size_t>(victim)].steal_back(&idx)) {
+          stole = true;
+          break;
+        }
+      }
+      if (!stole) return;
+      tasks[idx]();
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(workers - 1));
+  for (int w = 1; w < workers; ++w) {
+    pool.emplace_back(worker_loop, w);
+  }
+  worker_loop(0);
+  for (auto& t : pool) t.join();
+}
+
+SweepDriver::SweepDriver(int jobs)
+    : jobs_(jobs <= 0 ? default_jobs() : jobs) {}
+
+std::size_t SweepDriver::submit(Cell cell) {
+  NC_ASSERT(!ran_, "SweepDriver::submit after run");
+  cells_.push_back(std::move(cell));
+  return cells_.size() - 1;
+}
+
+const std::vector<CellResult>& SweepDriver::run() {
+  NC_ASSERT(!ran_, "SweepDriver runs exactly once");
+  ran_ = true;
+  results_.resize(cells_.size());
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(cells_.size());
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    tasks.push_back([this, i] { results_[i] = run_cell(cells_[i]); });
+  }
+  run_tasks(jobs_, tasks);
+  return results_;
+}
+
+}  // namespace netcache::sweep

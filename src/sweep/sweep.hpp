@@ -1,0 +1,111 @@
+// Parallel multi-configuration sweep driver.
+//
+// A paper-size reproduction runs hundreds of independent simulated machines
+// (12 apps x 4 systems x parameter sweeps). Each machine is a self-contained
+// Engine + Machine + Workload and, by the thread-confinement contract (see
+// DESIGN.md section 10), touches no cross-machine mutable state: the
+// FrameArena is thread_local and the FailureReporter registry is
+// mutex-guarded. The sweep is therefore embarrassingly parallel, and this
+// driver fans cells out across a pool of worker threads with dynamic work
+// stealing (cell runtimes vary by more than 10x between fft- and gauss-class
+// workloads, so static striping would idle most of the pool on the tail).
+//
+// Determinism: every cell is simulated by a thread-confined engine whose
+// event order does not depend on wall-clock scheduling, and results are
+// returned keyed by submission index. Merging them in canonical order
+// reproduces the sequential run bit for bit (wall_seconds excepted — it is
+// observability, not a simulated result).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/config.hpp"
+#include "src/core/run_summary.hpp"
+#include "src/sim/diagnostics.hpp"
+
+namespace netcache::apps {
+class Workload;
+}
+
+namespace netcache::sweep {
+
+/// One independent simulation: an application on one configured machine.
+struct Cell {
+  std::string app;
+  SystemKind system = SystemKind::kNetCache;
+  int nodes = 16;
+  double scale = 1.0;
+  bool paper_size = false;
+  /// Final say on the machine configuration (L2 size, rate, ring, ...).
+  /// Must be safe to call from any worker thread (capture by value).
+  std::function<void(MachineConfig&)> tweak;
+  /// Watchdog budgets; a deadlocking or runaway cell fails fast with a
+  /// SimError report in its CellResult instead of hanging the whole sweep.
+  sim::RunLimits limits;
+  /// When set, overrides `app`: builds the workload to run (called once, on
+  /// the worker thread that executes the cell).
+  std::function<std::unique_ptr<apps::Workload>()> make_workload;
+
+  /// "app/system" label for progress and error messages.
+  std::string label() const;
+};
+
+/// Outcome of one cell. When the run throws (deadlock diagnosis, watchdog
+/// trip, bad configuration), `ok` is false, `error` holds the SimError text,
+/// and `summary` is default-constructed.
+struct CellResult {
+  core::RunSummary summary;
+  bool ok = false;
+  std::string error;
+};
+
+/// Builds the machine and workload for `cell` and runs it to completion on
+/// the calling thread. Never throws: failures are captured in the result.
+CellResult run_cell(const Cell& cell);
+
+/// Worker count used when the caller passes jobs <= 0: the
+/// NETCACHE_BENCH_JOBS environment variable if set to a positive integer,
+/// otherwise std::thread::hardware_concurrency() (at least 1).
+int default_jobs();
+
+/// Runs `tasks` (independent closures) across `jobs` worker threads with
+/// dynamic work stealing; blocks until every task has run. jobs <= 1 runs
+/// them in submission order on the calling thread. Each task executes on
+/// exactly one thread, start to finish (engine thread-confinement holds).
+void run_tasks(int jobs, std::vector<std::function<void()>>& tasks);
+
+/// Executes a batch of independent cells on a worker pool and returns the
+/// results in submission order, regardless of completion order.
+class SweepDriver {
+ public:
+  /// jobs <= 0 selects default_jobs(). jobs == 1 restores the sequential
+  /// behavior (same results — the parallel run is deterministic).
+  explicit SweepDriver(int jobs = 0);
+
+  /// Queues a cell; returns its index (stable key into results()).
+  std::size_t submit(Cell cell);
+
+  std::size_t size() const { return cells_.size(); }
+  int jobs() const { return jobs_; }
+
+  /// Runs every submitted cell; call once, after all submissions.
+  const std::vector<CellResult>& run();
+
+  /// Valid after run().
+  const std::vector<CellResult>& results() const { return results_; }
+  const CellResult& result(std::size_t index) const {
+    return results_.at(index);
+  }
+  const Cell& cell(std::size_t index) const { return cells_.at(index); }
+
+ private:
+  int jobs_;
+  bool ran_ = false;
+  std::vector<Cell> cells_;
+  std::vector<CellResult> results_;
+};
+
+}  // namespace netcache::sweep

@@ -1,0 +1,192 @@
+// Sweep driver: parallel execution must reproduce the sequential results
+// bit for bit, contain per-cell failures, and drain arbitrary grids through
+// the work-stealing pool. Run under -fsanitize=thread in CI: these tests are
+// the proof that concurrent cells share no mutable state (the
+// thread-confinement contract, DESIGN.md section 10).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "src/apps/workload.hpp"
+#include "src/core/machine.hpp"
+#include "src/core/sync.hpp"
+#include "src/sweep/sweep.hpp"
+
+namespace netcache {
+namespace {
+
+std::vector<sweep::Cell> small_grid() {
+  std::vector<sweep::Cell> cells;
+  for (const char* app : {"sor", "fft"}) {
+    for (SystemKind kind :
+         {SystemKind::kNetCache, SystemKind::kNetCacheNoRing,
+          SystemKind::kLambdaNet, SystemKind::kDmonUpdate}) {
+      sweep::Cell cell;
+      cell.app = app;
+      cell.system = kind;
+      cell.nodes = 8;
+      cell.scale = 0.25;
+      cells.push_back(std::move(cell));
+    }
+  }
+  return cells;
+}
+
+std::vector<sweep::CellResult> run_grid(const std::vector<sweep::Cell>& cells,
+                                        int jobs) {
+  sweep::SweepDriver driver(jobs);
+  for (const auto& cell : cells) driver.submit(cell);
+  return driver.run();
+}
+
+// Simulated results (not wall_seconds, which is host observability) must be
+// independent of the worker count and of which worker ran which cell.
+void expect_identical(const std::vector<sweep::CellResult>& a,
+                      const std::vector<sweep::CellResult>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_TRUE(a[i].ok) << a[i].error;
+    ASSERT_TRUE(b[i].ok) << b[i].error;
+    EXPECT_EQ(a[i].summary.run_time, b[i].summary.run_time) << "cell " << i;
+    EXPECT_EQ(a[i].summary.events, b[i].summary.events) << "cell " << i;
+    EXPECT_EQ(a[i].summary.totals.reads, b[i].summary.totals.reads);
+    EXPECT_EQ(a[i].summary.totals.writes, b[i].summary.totals.writes);
+    EXPECT_EQ(a[i].summary.wheel_pushes, b[i].summary.wheel_pushes);
+    EXPECT_EQ(a[i].summary.overflow_pushes, b[i].summary.overflow_pushes);
+    EXPECT_DOUBLE_EQ(a[i].summary.shared_cache_hit_rate,
+                     b[i].summary.shared_cache_hit_rate);
+    EXPECT_TRUE(a[i].summary.verified);
+  }
+}
+
+TEST(Sweep, ParallelGridMatchesSequential) {
+  const auto cells = small_grid();
+  const auto sequential = run_grid(cells, 1);
+  const auto parallel = run_grid(cells, 4);
+  expect_identical(sequential, parallel);
+}
+
+// A workload that can never finish: every node parks on a barrier sized for
+// one more party than the machine has. The engine's queue drains with the
+// waiters still registered, which the failure layer diagnoses as a deadlock.
+class DeadlockWorkload : public apps::Workload {
+ public:
+  const char* name() const override { return "deadlock"; }
+  void setup(core::Machine& machine) override {
+    barrier_ = &machine.make_barrier(machine.nodes() + 1);
+  }
+  sim::Task<void> run(core::Cpu& cpu, int) override {
+    co_await barrier_->wait(cpu);
+  }
+  bool verify() override { return false; }
+
+ private:
+  core::Barrier* barrier_ = nullptr;
+};
+
+TEST(Sweep, DeadlockedCellFailsAloneWithReport) {
+  sweep::SweepDriver driver(3);
+  sweep::Cell good;
+  good.app = "sor";
+  good.nodes = 4;
+  good.scale = 0.2;
+  std::size_t first = driver.submit(good);
+
+  sweep::Cell bad;
+  bad.app = "deadlock";
+  bad.nodes = 4;
+  bad.make_workload = [] { return std::make_unique<DeadlockWorkload>(); };
+  std::size_t stuck = driver.submit(bad);
+
+  good.app = "fft";
+  std::size_t second = driver.submit(good);
+
+  const auto& results = driver.run();
+  EXPECT_TRUE(results[first].ok) << results[first].error;
+  EXPECT_TRUE(results[first].summary.verified);
+  EXPECT_TRUE(results[second].ok) << results[second].error;
+  EXPECT_TRUE(results[second].summary.verified);
+
+  ASSERT_FALSE(results[stuck].ok);
+  // The full diagnosis must come through: what happened, and who is parked.
+  EXPECT_NE(results[stuck].error.find("deadlock"), std::string::npos)
+      << results[stuck].error;
+  EXPECT_NE(results[stuck].error.find("blocked"), std::string::npos)
+      << results[stuck].error;
+  EXPECT_EQ(driver.cell(stuck).label(), "deadlock/NetCache");
+}
+
+TEST(Sweep, WorkStealingDrainsMoreCellsThanWorkers) {
+  std::vector<sweep::Cell> cells;
+  for (int i = 0; i < 12; ++i) {
+    sweep::Cell cell;
+    cell.app = "sor";
+    cell.nodes = 4;
+    cell.scale = 0.15;
+    // Distinct configs so a mixed-up result keyed to the wrong cell shows.
+    const Cycles mem = 44 + 8 * i;
+    cell.tweak = [mem](MachineConfig& cfg) {
+      cfg.mem_block_read_cycles = mem;
+    };
+    cells.push_back(std::move(cell));
+  }
+  const auto sequential = run_grid(cells, 1);
+  const auto parallel = run_grid(cells, 3);  // 4 cells per worker
+  expect_identical(sequential, parallel);
+}
+
+TEST(Sweep, RunTasksExecutesEveryTaskExactlyOnce) {
+  constexpr int kTasks = 64;
+  std::vector<std::atomic<int>> ran(kTasks);
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < kTasks; ++i) {
+    tasks.push_back([&ran, i] { ran[static_cast<std::size_t>(i)]++; });
+  }
+  sweep::run_tasks(5, tasks);
+  for (int i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(ran[static_cast<std::size_t>(i)].load(), 1) << "task " << i;
+  }
+}
+
+TEST(Sweep, DefaultJobsHonorsEnvironment) {
+  ::setenv("NETCACHE_BENCH_JOBS", "5", 1);
+  EXPECT_EQ(sweep::default_jobs(), 5);
+  ::setenv("NETCACHE_BENCH_JOBS", "not-a-number", 1);
+  EXPECT_GE(sweep::default_jobs(), 1);  // falls back to hardware concurrency
+  ::unsetenv("NETCACHE_BENCH_JOBS");
+  EXPECT_GE(sweep::default_jobs(), 1);
+}
+
+// Sweep workers fold results into shared tables directly; set() must be safe
+// under real concurrency. Run under TSan in CI, this is a data-race trap.
+TEST(Sweep, TableSetIsThreadSafe) {
+  bench::Table table("concurrent", {"c0", "c1", "c2", "c3"});
+  constexpr int kThreads = 8;
+  constexpr int kOps = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&table, t] {
+      for (int i = 0; i < kOps; ++i) {
+        table.set("row" + std::to_string(i % 25),
+                  "c" + std::to_string((t + i) % 4),
+                  static_cast<double>(t * kOps + i));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const std::string csv = table.to_csv();
+  // All 25 rows present, each with all four columns populated.
+  for (int r = 0; r < 25; ++r) {
+    EXPECT_NE(csv.find("row" + std::to_string(r) + ","), std::string::npos);
+  }
+  EXPECT_EQ(static_cast<int>(std::count(csv.begin(), csv.end(), '\n')), 26);
+}
+
+}  // namespace
+}  // namespace netcache
