@@ -9,6 +9,7 @@
 //   ./example_netcache_sim --app=all --system=netcache,lambdanet --jobs=8
 //   ./example_netcache_sim --trace=foo.trace --system=lambdanet
 //   ./example_netcache_sim --help
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -45,6 +46,11 @@ struct Options {
   bool ring_only_reads = false;
   bool report = false;
   int jobs = 0;  // 0 = sweep::default_jobs()
+  bool verify = false;
+  std::string faults;
+  bool fault_seed_set = false;
+  std::uint64_t fault_seed = 0;
+  bool fault_recovery = true;
 };
 
 void usage() {
@@ -71,7 +77,18 @@ void usage() {
       "  --ring-only-reads  disable the parallel star-path read start\n"
       "  --report           print the full per-node report (single cell)\n"
       "  --jobs=N           sweep worker threads for multi-cell runs\n"
-      "                     (default: NETCACHE_BENCH_JOBS or hardware)\n");
+      "                     (default: NETCACHE_BENCH_JOBS or hardware)\n"
+      "  --verify           runtime coherence oracle: shadow-memory model\n"
+      "                     checking every cached read against the latest\n"
+      "                     committed store (also: NETCACHE_VERIFY=1)\n"
+      "  --faults=SPEC      deterministic fault injection; comma list of\n"
+      "                     kind:count[@duration] with kinds drop-update |\n"
+      "                     corrupt-update | ring-slot | drop-invalidate |\n"
+      "                     outage | stall (e.g. drop-update:2,outage:1@500)\n"
+      "  --fault-seed=N     seed deriving the fault schedule (default fixed;\n"
+      "                     same seed => same schedule at any --jobs)\n"
+      "  --no-fault-recovery  leave injected faults unrepaired; requires\n"
+      "                     --verify so every fault is caught, never silent\n");
 }
 
 bool parse_flag(const char* arg, const char* name, std::string* out) {
@@ -112,6 +129,14 @@ bool parse(int argc, char** argv, Options* opt) {
     if (std::strcmp(a, "--prefetch") == 0) { opt->prefetch = true; continue; }
     if (std::strcmp(a, "--ring-only-reads") == 0) { opt->ring_only_reads = true; continue; }
     if (std::strcmp(a, "--report") == 0) { opt->report = true; continue; }
+    if (std::strcmp(a, "--verify") == 0) { opt->verify = true; continue; }
+    if (std::strcmp(a, "--no-fault-recovery") == 0) { opt->fault_recovery = false; continue; }
+    if (parse_flag(a, "--faults", &v)) { opt->faults = v; continue; }
+    if (parse_flag(a, "--fault-seed", &v)) {
+      opt->fault_seed = static_cast<std::uint64_t>(parse_int("fault-seed", v));
+      opt->fault_seed_set = true;
+      continue;
+    }
     if (parse_flag(a, "--app", &v)) { opt->app = v; continue; }
     if (parse_flag(a, "--trace", &v)) { opt->trace_path = v; continue; }
     if (parse_flag(a, "--synthetic", &v)) { opt->synthetic = v; continue; }
@@ -192,6 +217,10 @@ void apply_knobs(const Options& opt, MachineConfig* config) {
   config->ring.associativity = opt.assoc;
   config->sequential_prefetch = opt.prefetch;
   config->reads_start_on_star = !opt.ring_only_reads;
+  config->verify = config->verify || opt.verify;
+  config->faults.spec = opt.faults;
+  if (opt.fault_seed_set) config->faults.seed = opt.fault_seed;
+  config->faults.recovery = opt.fault_recovery;
 }
 
 std::unique_ptr<apps::Workload> build_workload(const Options& opt,

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "src/common/sim_error.hpp"
+#include "src/faults/faults.hpp"
 
 namespace netcache {
 
@@ -81,6 +82,21 @@ void MachineConfig::validate() const {
   if (system == SystemKind::kNetCache) {
     reject_unless(ring.channels % nodes == 0, "ring.channels", ring.channels,
                   "cache channels must divide evenly among home nodes");
+  }
+  if (faults.enabled()) {
+    reject_unless(faults.retry_budget > 0, "faults.retry_budget",
+                  faults.retry_budget, "fault recovery needs a retry budget");
+    reject_unless(faults.retry_backoff > 0, "faults.retry_backoff",
+                  faults.retry_backoff,
+                  "retry backoff must advance virtual time");
+    if (!faults.recovery && !verify) {
+      throw ConfigError("faults.recovery", "false",
+                        "fault injection with recovery disabled produces "
+                        "silently-wrong protocol state unless the coherence "
+                        "oracle is on; set verify (--verify) too");
+    }
+    // Grammar + per-system applicability of every spec item.
+    faults::validate_spec(*this);
   }
 }
 

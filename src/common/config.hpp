@@ -61,6 +61,30 @@ struct RingConfig {
   }
 };
 
+/// Deterministic protocol-fault injection (src/faults/). Disabled unless
+/// `spec` names at least one fault. The spec is a comma list of
+/// `kind:count[@duration]` items, e.g. "drop-update:2,outage:1@200"; kinds:
+///   drop-update      one sharer misses an update delivery
+///   corrupt-update   the home memory rejects (misses) an update
+///   ring-slot        a ring-cache slot misses its refresh (NetCache only)
+///   drop-invalidate  one sharer misses an invalidation (DMON-I only)
+///   outage           the coherence channel is down for `duration` pcycles
+///   stall            one node's memory is unresponsive for `duration`
+/// Arm times are derived from `seed` alone, so the schedule is identical at
+/// any sweep --jobs count.
+struct FaultConfig {
+  std::string spec;
+  std::uint64_t seed = 0xFA17ED5EEDull;
+  /// Run the matching recovery path (retransmit / scrub / NACK-retry). With
+  /// recovery off, every injected fault must be caught by the oracle or the
+  /// deadlock/watchdog diagnostics — config validation requires `verify`.
+  bool recovery = true;
+  int retry_budget = 16;
+  Cycles retry_backoff = 64;
+
+  bool enabled() const { return !spec.empty(); }
+};
+
 /// Full machine description. Defaults reproduce the paper's base system.
 struct MachineConfig {
   int nodes = 16;
@@ -97,6 +121,15 @@ struct MachineConfig {
   bool sequential_prefetch = false;
 
   std::uint64_t seed = 0x9E3779B97F4A7C15ull;
+
+  /// Runtime coherence oracle (src/verify/): shadow-memory model checking
+  /// every cached hit against the per-block commit history plus the protocol
+  /// invariants at transition points. Also enabled by NETCACHE_VERIFY=1 in
+  /// the environment (read at Machine construction). Off adds zero work.
+  bool verify = false;
+
+  /// Deterministic fault injection (src/faults/); inactive when spec empty.
+  FaultConfig faults;
 
   /// Throws ConfigError (naming the offending key and value) if the
   /// configuration is inconsistent or out of range.

@@ -54,6 +54,30 @@ struct NodeStats {
   void add(const NodeStats& o);
 };
 
+/// Counters kept by the coherence oracle (src/verify/) over one run. A
+/// violation aborts with a full failure report, so a summary carrying these
+/// counters describes a run the oracle passed; the counts say how much it
+/// actually checked.
+struct OracleStats {
+  std::uint64_t loads_checked = 0;    // cached hits validated against commits
+  std::uint64_t stores_committed = 0;
+  std::uint64_t updates_delivered = 0;
+  std::uint64_t invalidations_delivered = 0;
+  std::uint64_t fills = 0;
+  std::uint64_t ring_checks = 0;       // shared-cache hit/refresh agreements
+  std::uint64_t grants_checked = 0;    // I-SPEED single-writer epochs
+  std::uint64_t drains_checked = 0;    // write-buffer FIFO order
+  std::uint64_t blocks_tracked = 0;    // distinct shared blocks shadowed
+};
+
+/// Counters kept by the fault-injection plan (src/faults/) over one run.
+struct FaultStats {
+  std::uint64_t injected = 0;     // fault instances that took effect
+  std::uint64_t recovered = 0;    // recovery actions that masked a fault
+  std::uint64_t retries = 0;      // retry/backoff rounds spent recovering
+  std::uint64_t unrecovered = 0;  // effects left unmasked (recovery off)
+};
+
 /// Aggregated view over all nodes of one run.
 class MachineStats {
  public:

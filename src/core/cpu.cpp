@@ -1,8 +1,23 @@
 #include "src/core/cpu.hpp"
 
 #include "src/core/machine.hpp"
+#include "src/verify/oracle.hpp"
 
 namespace netcache::core {
+
+namespace {
+
+verify::CoherenceOracle::FillSource to_oracle(FillSource source) {
+  switch (source) {
+    case FillSource::kRing: return verify::CoherenceOracle::FillSource::kRing;
+    case FillSource::kForward:
+      return verify::CoherenceOracle::FillSource::kForward;
+    case FillSource::kMemory: break;
+  }
+  return verify::CoherenceOracle::FillSource::kMemory;
+}
+
+}  // namespace
 
 Cpu::Cpu(Machine& machine, Node& node)
     : machine_(&machine),
@@ -10,7 +25,8 @@ Cpu::Cpu(Machine& machine, Node& node)
       engine_(&machine.engine()),
       config_(&machine.config()),
       lat_(&machine.latencies()),
-      as_(&machine.address_space()) {}
+      as_(&machine.address_space()),
+      oracle_(machine.oracle()) {}
 
 sim::Task<void> Cpu::read(Addr addr) {
   NodeStats& st = node_->stats();
@@ -21,6 +37,7 @@ sim::Task<void> Cpu::read(Addr addr) {
   // L1 tag check (1 pcycle; hits complete here).
   co_await engine_->delay(lat_->l1_tag_check, tag);
   if (node_->l1().probe(addr, engine_->now())) {
+    if (oracle_ != nullptr) oracle_->on_hit(id(), addr, "L1");
     ++st.l1_hits;
     st.read_cycles += engine_->now() - t0;
     st.read_latency_hist.record(engine_->now() - t0);
@@ -30,6 +47,7 @@ sim::Task<void> Cpu::read(Addr addr) {
   // L2 tag check; a hit costs l2_hit_cycles total.
   co_await engine_->delay(lat_->l2_tag_check, tag);
   if (node_->l2().probe(addr, engine_->now())) {
+    if (oracle_ != nullptr) oracle_->on_hit(id(), addr, "L2");
     co_await engine_->delay(config_->l2_hit_cycles - lat_->l1_tag_check -
                                 lat_->l2_tag_check,
                             tag);
@@ -38,7 +56,13 @@ sim::Task<void> Cpu::read(Addr addr) {
         node_->take_prefetched(block_base(addr, config_->l2.block_bytes))) {
       ++st.prefetches_useful;
     }
-    node_->l1().insert(addr, cache::LineState::kValid, engine_->now());
+    // An invalidation may have landed during the hit latency; refilling L1
+    // then would resurrect the dead line and let it serve (stale) hits
+    // indefinitely. The load itself still completes with the value it
+    // sampled at the tag check.
+    if (node_->l2().contains(addr)) {
+      node_->l1().insert(addr, cache::LineState::kValid, engine_->now());
+    }
     st.read_cycles += engine_->now() - t0;
     st.read_latency_hist.record(engine_->now() - t0);
     co_return;
@@ -54,12 +78,16 @@ sim::Task<void> Cpu::read(Addr addr) {
         co_await node_->prefetch_waiters().wait(*engine_, {id(), "cpu"});
       }
       node_->take_prefetched(blk);
+      if (oracle_ != nullptr) oracle_->on_hit(id(), addr, "L2");
       ++st.prefetches_useful;
       ++st.l2_hits;
       co_await engine_->delay(config_->l2_hit_cycles - lat_->l1_tag_check -
                                   lat_->l2_tag_check,
                               tag);
-      node_->l1().insert(addr, cache::LineState::kValid, engine_->now());
+      // Same in-flight race as the plain L2 hit above.
+      if (node_->l2().contains(addr)) {
+        node_->l1().insert(addr, cache::LineState::kValid, engine_->now());
+      }
       st.read_cycles += engine_->now() - t0;
       st.read_latency_hist.record(engine_->now() - t0);
       co_return;
@@ -73,6 +101,10 @@ sim::Task<void> Cpu::read(Addr addr) {
   } else {
     fr = co_await machine_->interconnect().fetch_block(
         id(), block_base(addr, config_->l2.block_bytes));
+    if (oracle_ != nullptr) {
+      oracle_->on_fill(id(), block_base(addr, config_->l2.block_bytes),
+                       to_oracle(fr.source));
+    }
     if (as_->home(addr) == id()) {
       ++st.local_mem_reads;
     } else {
@@ -84,6 +116,7 @@ sim::Task<void> Cpu::read(Addr addr) {
   // Fill L2 (evicting if needed) and L1.
   auto evicted = node_->l2().insert(addr, fr.fill_state, engine_->now());
   if (evicted && !as_->is_private(evicted->block_base)) {
+    if (oracle_ != nullptr) oracle_->on_evict(id(), evicted->block_base);
     machine_->interconnect().on_l2_eviction(id(), evicted->block_base,
                                             evicted->state);
   }
@@ -114,10 +147,12 @@ sim::Task<void> Cpu::prefetch(Addr block) {
   } else {
     fr = co_await machine_->interconnect().fetch_block(id(), block);
   }
+  if (oracle_ != nullptr) oracle_->on_fill(id(), block, to_oracle(fr.source));
   // The demand stream may have brought the block in meanwhile; insert() is
   // idempotent in that case.
   auto evicted = node_->l2().insert(block, fr.fill_state, engine_->now());
   if (evicted && !as_->is_private(evicted->block_base)) {
+    if (oracle_ != nullptr) oracle_->on_evict(id(), evicted->block_base);
     machine_->interconnect().on_l2_eviction(id(), evicted->block_base,
                                             evicted->state);
   }
@@ -136,6 +171,7 @@ sim::Task<void> Cpu::write(Addr addr, int bytes) {
     co_await node_->wb().space_waiters().wait(*engine_, {id(), "cpu"});
     st.wb_full_stall_cycles += engine_->now() - w0;
   }
+  if (oracle_ != nullptr && !priv) oracle_->on_store_buffered(id(), addr);
   node_->wb().data_waiters().notify_all(*engine_);
 }
 

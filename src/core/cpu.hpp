@@ -10,6 +10,10 @@
 #include "src/sim/engine.hpp"
 #include "src/sim/task.hpp"
 
+namespace netcache::verify {
+class CoherenceOracle;
+}
+
 namespace netcache::core {
 
 class Machine;
@@ -45,6 +49,7 @@ class Cpu {
   const MachineConfig* config_;
   const LatencyParams* lat_;
   AddressSpace* as_;
+  verify::CoherenceOracle* oracle_;  // null unless the run is verified
 };
 
 }  // namespace netcache::core

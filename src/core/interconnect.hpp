@@ -10,11 +10,17 @@
 
 namespace netcache::core {
 
+/// Which structure supplied a fill's data (used by the coherence oracle to
+/// pick the freshness check that applies; kMemory is the default/common case).
+enum class FillSource : std::uint8_t { kMemory, kRing, kForward };
+
 struct FetchResult {
   /// NetCache only: the miss was satisfied by the shared ring cache.
   bool shared_cache_hit = false;
   /// State to install the block with in the requester's L2.
   cache::LineState fill_state = cache::LineState::kValid;
+  /// Who served the data (ring slot, forwarded owner copy, or home memory).
+  FillSource source = FillSource::kMemory;
 };
 
 class Interconnect {

@@ -1,9 +1,13 @@
 #include "src/core/machine.hpp"
 
 #include <chrono>
+#include <cstdlib>
 
 #include "src/apps/workload.hpp"
 #include "src/common/nc_assert.hpp"
+#include "src/common/sim_error.hpp"
+#include "src/faults/faults.hpp"
+#include "src/verify/oracle.hpp"
 #include "src/net/dmon/dmon_update_net.hpp"
 #include "src/net/dmon/ispeed_net.hpp"
 #include "src/net/lambdanet/lambdanet_net.hpp"
@@ -38,11 +42,26 @@ Machine::Machine(const MachineConfig& config)
       as_(config.nodes, config.l2.block_bytes),
       stats_(config.nodes),
       rng_(config.seed) {
+  if (!config_.verify) {
+    // Environment opt-in so CI can verify a whole test suite without
+    // plumbing a flag through every driver. "0"/"" mean off.
+    const char* env = std::getenv("NETCACHE_VERIFY");
+    if (env != nullptr && env[0] != '\0' &&
+        !(env[0] == '0' && env[1] == '\0')) {
+      config_.verify = true;
+    }
+  }
   config_.validate();
   nodes_.reserve(static_cast<std::size_t>(config_.nodes));
   for (NodeId n = 0; n < config_.nodes; ++n) {
     nodes_.push_back(
         std::make_unique<Node>(engine_, config_, n, stats_.node(n)));
+  }
+  if (config_.verify) {
+    oracle_ = std::make_unique<verify::CoherenceOracle>(config_, as_, engine_);
+  }
+  if (config_.faults.enabled()) {
+    faults_ = std::make_unique<faults::FaultPlan>(config_, engine_);
   }
   interconnect_ = make_interconnect(*this);
   cpus_.reserve(static_cast<std::size_t>(config_.nodes));
@@ -76,16 +95,28 @@ RunSummary Machine::run(apps::Workload& workload,
                         const sim::RunLimits& limits) {
   NC_ASSERT(!ran_, "a Machine runs exactly one workload");
   ran_ = true;
+  if (faults_ != nullptr && !config_.faults.recovery &&
+      !limits.fail_on_blocked) {
+    // Recovery-off outages/stalls park transactions forever; only the
+    // drained-queue deadlock diagnosis turns that into a caught failure.
+    throw ConfigError("faults.recovery", "false",
+                      "recovery-off fault injection needs "
+                      "RunLimits::fail_on_blocked to diagnose parked "
+                      "transactions");
+  }
   workload.setup(*this);
   workers_remaining_ = config_.nodes;
   for (NodeId n = 0; n < config_.nodes; ++n) {
-    node(n).start(interconnect_.get());
+    node(n).start(interconnect_.get(), oracle_.get());
   }
   for (NodeId n = 0; n < config_.nodes; ++n) {
     engine_.spawn(worker(workload, n));
   }
   auto wall0 = std::chrono::steady_clock::now();
   engine_.run(limits);
+  // End-of-run sweep: every surviving cached/ring/home copy must reflect the
+  // last commit, so an unmasked fault is caught even if nobody read after it.
+  if (oracle_ != nullptr) oracle_->final_audit();
   double wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0)
           .count();
@@ -108,6 +139,10 @@ RunSummary Machine::run(apps::Workload& workload,
   s.wheel_pushes = engine_.queue_stats().wheel_pushes;
   s.overflow_pushes = engine_.queue_stats().overflow_pushes;
   s.wall_seconds = wall_seconds;
+  s.verify_enabled = config_.verify;
+  if (oracle_ != nullptr) s.oracle = oracle_->stats();
+  s.faults_enabled = faults_ != nullptr;
+  if (faults_ != nullptr) s.faults = faults_->stats();
   s.verified = workload.verify();
   return s;
 }

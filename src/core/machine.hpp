@@ -19,6 +19,12 @@
 namespace netcache::apps {
 class Workload;
 }
+namespace netcache::verify {
+class CoherenceOracle;
+}
+namespace netcache::faults {
+class FaultPlan;
+}
 
 namespace netcache::core {
 
@@ -39,6 +45,13 @@ class Machine {
   Node& node(NodeId id) { return *nodes_[static_cast<std::size_t>(id)]; }
   Cpu& cpu(NodeId id) { return *cpus_[static_cast<std::size_t>(id)]; }
   Interconnect& interconnect() { return *interconnect_; }
+
+  /// Coherence oracle, or null when the run is not verified (config.verify /
+  /// NETCACHE_VERIFY=1). Every hook site guards on this pointer, so a
+  /// non-verified run does zero oracle work.
+  verify::CoherenceOracle* oracle() { return oracle_.get(); }
+  /// Fault-injection plan, or null when config.faults.spec is empty.
+  faults::FaultPlan* faults() { return faults_.get(); }
 
   /// Synchronization primitives live as long as the machine.
   Lock& make_lock();
@@ -62,6 +75,9 @@ class Machine {
   Rng rng_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<std::unique_ptr<Cpu>> cpus_;
+  // Built before the interconnect: protocols cache these raw pointers.
+  std::unique_ptr<verify::CoherenceOracle> oracle_;
+  std::unique_ptr<faults::FaultPlan> faults_;
   std::unique_ptr<Interconnect> interconnect_;
   std::vector<std::unique_ptr<Lock>> locks_;
   std::vector<std::unique_ptr<Barrier>> barriers_;

@@ -1,6 +1,7 @@
 #include "src/core/node.hpp"
 
 #include "src/common/nc_assert.hpp"
+#include "src/verify/oracle.hpp"
 
 namespace netcache::core {
 
@@ -16,9 +17,10 @@ Node::Node(sim::Engine& engine, const MachineConfig& config, NodeId id,
       mem_(engine, config.mem_block_read_cycles, config.mem_queue_hysteresis) {
 }
 
-void Node::start(Interconnect* interconnect) {
+void Node::start(Interconnect* interconnect, verify::CoherenceOracle* oracle) {
   NC_ASSERT(interconnect != nullptr, "node started without a protocol");
   interconnect_ = interconnect;
+  oracle_ = oracle;
   engine_->spawn(drain_loop());
 }
 
@@ -40,6 +42,7 @@ sim::Task<void> Node::drain_loop() {
       // Private writes flow straight into the local memory.
       co_await mem_.enqueue_update(entry.dirty_words());
     } else {
+      if (oracle_ != nullptr) oracle_->on_drain_start(id_, entry.block_base);
       co_await interconnect_->drain_write(id_, entry);
     }
     drain_in_flight_ = false;
@@ -63,12 +66,16 @@ void Node::invalidate_l1_block(Addr l2_block_base) {
 }
 
 void Node::apply_remote_update(Addr block_base) {
+  // Hooked here (not in the protocols) so the oracle records deliveries that
+  // actually happened, not ones a protocol merely claims to have broadcast.
+  if (oracle_ != nullptr) oracle_->on_update_delivered(id_, block_base);
   if (l2_.contains(block_base)) {
     invalidate_l1_block(block_base);
   }
 }
 
 void Node::apply_invalidate(Addr block_base) {
+  if (oracle_ != nullptr) oracle_->on_invalidate_delivered(id_, block_base);
   if (l2_.invalidate(block_base) != cache::LineState::kInvalid) {
     ++stats_->invalidations_received;
     invalidate_l1_block(block_base);

@@ -15,6 +15,10 @@
 #include "src/sim/task.hpp"
 #include "src/sim/wait_list.hpp"
 
+namespace netcache::verify {
+class CoherenceOracle;
+}
+
 namespace netcache::core {
 
 class Node {
@@ -30,8 +34,10 @@ class Node {
   NodeStats& stats() { return *stats_; }
 
   /// Wires the protocol in (constructed after the nodes) and spawns the
-  /// write-buffer drainer process.
-  void start(Interconnect* interconnect);
+  /// write-buffer drainer process. `oracle` is null unless the run is
+  /// verified; delivery snoops and drain order are reported to it.
+  void start(Interconnect* interconnect,
+             verify::CoherenceOracle* oracle = nullptr);
 
   /// Tells the drainer to exit once the buffer is empty (end of run).
   void request_shutdown();
@@ -84,6 +90,7 @@ class Node {
   cache::WriteBuffer wb_;
   memory::MemoryModule mem_;
   Interconnect* interconnect_ = nullptr;
+  verify::CoherenceOracle* oracle_ = nullptr;
   bool drain_in_flight_ = false;
   bool shutdown_ = false;
   std::unordered_set<Addr> prefetch_in_flight_;

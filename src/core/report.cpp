@@ -93,6 +93,32 @@ std::string detailed_report(const MachineConfig& config,
                static_cast<double>(t.prefetches_issued));
   }
 
+  if (summary.verify_enabled) {
+    const OracleStats& o = summary.oracle;
+    append(out, "\ncoherence oracle: loads checked %llu  commits %llu  "
+                "fills %llu  drains %llu\n",
+           static_cast<unsigned long long>(o.loads_checked),
+           static_cast<unsigned long long>(o.stores_committed),
+           static_cast<unsigned long long>(o.fills),
+           static_cast<unsigned long long>(o.drains_checked));
+    append(out, "  deliveries: updates %llu  invalidations %llu  "
+                "ring checks %llu  grants %llu  blocks tracked %llu\n",
+           static_cast<unsigned long long>(o.updates_delivered),
+           static_cast<unsigned long long>(o.invalidations_delivered),
+           static_cast<unsigned long long>(o.ring_checks),
+           static_cast<unsigned long long>(o.grants_checked),
+           static_cast<unsigned long long>(o.blocks_tracked));
+  }
+  if (summary.faults_enabled) {
+    const FaultStats& f = summary.faults;
+    append(out, "\nfault injection: injected %llu  recovered %llu  "
+                "retries %llu  unrecovered %llu\n",
+           static_cast<unsigned long long>(f.injected),
+           static_cast<unsigned long long>(f.recovered),
+           static_cast<unsigned long long>(f.retries),
+           static_cast<unsigned long long>(f.unrecovered));
+  }
+
   append(out, "\nread latency distribution (bucket upper bound : count)\n");
   for (int b = 0; b < LatencyHistogram::kBuckets; ++b) {
     std::uint64_t c = t.read_latency_hist.count_in(b);

@@ -13,7 +13,24 @@ std::string format_summary(const RunSummary& s) {
                 static_cast<long long>(s.run_time), s.avg_read_latency,
                 s.avg_l2_miss_latency, 100.0 * s.shared_cache_hit_rate,
                 100.0 * s.sync_fraction, s.verified ? "ok" : "VERIFY-FAIL");
-  return buf;
+  std::string out = buf;
+  // Appended only when the layers ran, keeping plain-run output unchanged.
+  if (s.verify_enabled) {
+    std::snprintf(buf, sizeof(buf), " oracle[loads=%llu commits=%llu]",
+                  static_cast<unsigned long long>(s.oracle.loads_checked),
+                  static_cast<unsigned long long>(s.oracle.stores_committed));
+    out += buf;
+  }
+  if (s.faults_enabled) {
+    std::snprintf(
+        buf, sizeof(buf), " faults[inj=%llu rec=%llu retry=%llu unrec=%llu]",
+        static_cast<unsigned long long>(s.faults.injected),
+        static_cast<unsigned long long>(s.faults.recovered),
+        static_cast<unsigned long long>(s.faults.retries),
+        static_cast<unsigned long long>(s.faults.unrecovered));
+    out += buf;
+  }
+  return out;
 }
 
 std::string format_throughput(const RunSummary& s) {

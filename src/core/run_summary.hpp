@@ -34,6 +34,13 @@ struct RunSummary {
 
   std::uint64_t events = 0;
 
+  // Robustness layers (all-zero defaults when the layer is off, so summaries
+  // of plain runs are byte-identical to builds that predate them).
+  bool verify_enabled = false;
+  OracleStats oracle;
+  bool faults_enabled = false;
+  FaultStats faults;
+
   // Timing-wheel occupancy for this run (deterministic, like events): how
   // many scheduled events landed in an O(1) wheel bucket vs the far-future
   // overflow heap. Overflow traffic is the signal for re-sizing the wheel.

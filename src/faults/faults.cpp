@@ -1,0 +1,288 @@
+#include "src/faults/faults.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/common/nc_assert.hpp"
+#include "src/common/rng.hpp"
+#include "src/common/sim_error.hpp"
+#include "src/core/node.hpp"
+#include "src/sim/engine.hpp"
+
+namespace netcache::faults {
+
+namespace {
+
+constexpr Cycles kDefaultWindow = 200;  // outage/stall duration if no @dur
+constexpr Cycles kMinGap = 500;         // min pcycles between arm times
+constexpr Cycles kGapSpread = 1500;     // uniform extra gap drawn per fault
+
+struct SpecItem {
+  FaultKind kind;
+  int count;
+  Cycles duration;  // windows only
+};
+
+bool is_window(FaultKind kind) {
+  return kind == FaultKind::kOutage || kind == FaultKind::kStall;
+}
+
+bool parse_kind(const std::string& name, FaultKind& out) {
+  if (name == "drop-update") out = FaultKind::kDropUpdate;
+  else if (name == "corrupt-update") out = FaultKind::kCorruptUpdate;
+  else if (name == "ring-slot") out = FaultKind::kRingSlot;
+  else if (name == "drop-invalidate") out = FaultKind::kDropInvalidate;
+  else if (name == "outage") out = FaultKind::kOutage;
+  else if (name == "stall") out = FaultKind::kStall;
+  else return false;
+  return true;
+}
+
+[[noreturn]] void reject(const std::string& spec, const std::string& why) {
+  throw ConfigError("faults", spec, why);
+}
+
+// Parses a positive integer; returns false on garbage/overflow/<=0.
+bool parse_positive(const std::string& text, long long& out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  out = std::strtoll(text.c_str(), &end, 10);
+  return end == text.c_str() + text.size() && out > 0;
+}
+
+/// Spec grammar: comma list of `kind:count[@duration]`. Throws ConfigError.
+std::vector<SpecItem> parse_spec(const std::string& spec) {
+  std::vector<SpecItem> items;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string token = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (token.empty()) {
+      reject(spec, "empty fault item (want kind:count[@duration])");
+    }
+    const std::size_t colon = token.find(':');
+    if (colon == std::string::npos) {
+      reject(spec, "fault item '" + token + "' is missing its :count");
+    }
+    SpecItem item{};
+    const std::string name = token.substr(0, colon);
+    if (!parse_kind(name, item.kind)) {
+      reject(spec, "unknown fault kind '" + name +
+                       "' (want drop-update, corrupt-update, ring-slot, "
+                       "drop-invalidate, outage, or stall)");
+    }
+    std::string count_text = token.substr(colon + 1);
+    const std::size_t at = count_text.find('@');
+    item.duration = kDefaultWindow;
+    if (at != std::string::npos) {
+      if (!is_window(item.kind)) {
+        reject(spec, "duration on '" + name +
+                         "' — @duration only applies to outage/stall");
+      }
+      long long dur = 0;
+      if (!parse_positive(count_text.substr(at + 1), dur)) {
+        reject(spec, "bad duration in '" + token + "'");
+      }
+      item.duration = static_cast<Cycles>(dur);
+      count_text.resize(at);
+    }
+    long long count = 0;
+    if (!parse_positive(count_text, count) || count > 1'000'000) {
+      reject(spec, "bad count in '" + token + "'");
+    }
+    item.count = static_cast<int>(count);
+    items.push_back(item);
+  }
+  return items;
+}
+
+}  // namespace
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kDropUpdate: return "drop-update";
+    case FaultKind::kCorruptUpdate: return "corrupt-update";
+    case FaultKind::kRingSlot: return "ring-slot";
+    case FaultKind::kDropInvalidate: return "drop-invalidate";
+    case FaultKind::kOutage: return "outage";
+    case FaultKind::kStall: return "stall";
+  }
+  return "?";
+}
+
+void validate_spec(const MachineConfig& config) {
+  const auto items = parse_spec(config.faults.spec);
+  const bool invalidate = config.system == SystemKind::kDmonInvalidate;
+  for (const SpecItem& item : items) {
+    switch (item.kind) {
+      case FaultKind::kRingSlot:
+        if (config.system != SystemKind::kNetCache) {
+          reject(config.faults.spec,
+                 std::string("ring-slot faults need the NetCache shared "
+                             "cache, not system=") +
+                     netcache::to_string(config.system));
+        }
+        break;
+      case FaultKind::kDropInvalidate:
+        if (!invalidate) {
+          reject(config.faults.spec,
+                 std::string("drop-invalidate faults need the I-SPEED "
+                             "protocol (DMON-I), not system=") +
+                     netcache::to_string(config.system));
+        }
+        break;
+      case FaultKind::kDropUpdate:
+      case FaultKind::kCorruptUpdate:
+        if (invalidate) {
+          reject(config.faults.spec,
+                 std::string(to_string(item.kind)) +
+                     " faults need an update protocol, not system=DMON-I");
+        }
+        break;
+      case FaultKind::kOutage:
+      case FaultKind::kStall:
+        break;
+    }
+  }
+}
+
+FaultPlan::FaultPlan(const MachineConfig& config, sim::Engine& engine)
+    : config_(&config), engine_(&engine) {
+  const auto items = parse_spec(config.faults.spec);
+  Rng rng(config.faults.seed);
+  // One shared, strictly increasing timeline: every instance (in parse
+  // order) lands kMinGap..kMinGap+kGapSpread pcycles after the previous one,
+  // derived from the fault seed alone — independent of engine state.
+  Cycles t = 0;
+  for (const SpecItem& item : items) {
+    for (int i = 0; i < item.count; ++i) {
+      t += kMinGap + static_cast<Cycles>(rng.next_below(
+                         static_cast<std::uint32_t>(kGapSpread)));
+      if (item.kind == FaultKind::kOutage) {
+        outages_.push_back(Window{t, t + item.duration, kNoNode, false});
+      } else if (item.kind == FaultKind::kStall) {
+        const NodeId victim = static_cast<NodeId>(
+            rng.next_below(static_cast<std::uint32_t>(config.nodes)));
+        stalls_.push_back(Window{t, t + item.duration, victim, false});
+      } else {
+        arm_times_[static_cast<int>(item.kind)].push_back(t);
+      }
+    }
+  }
+}
+
+bool FaultPlan::armed(FaultKind kind, Cycles now) const {
+  const int k = static_cast<int>(kind);
+  NC_ASSERT(k < 4, "window faults have no arm queue");
+  const auto& q = arm_times_[k];
+  return cursor_[k] < q.size() && q[cursor_[k]] <= now;
+}
+
+void FaultPlan::consume(FaultKind kind) {
+  const int k = static_cast<int>(kind);
+  NC_ASSERT(cursor_[k] < arm_times_[k].size(), "consumed an unarmed fault");
+  ++cursor_[k];
+  ++stats_.injected;
+}
+
+bool FaultPlan::channel_down(Cycles now) {
+  for (Window& w : outages_) {
+    if (now >= w.start && now < w.end) {
+      if (!w.counted) {
+        w.counted = true;
+        ++stats_.injected;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FaultPlan::node_stalled(NodeId node, Cycles now) {
+  for (Window& w : stalls_) {
+    if (w.victim == node && now >= w.start && now < w.end) {
+      if (!w.counted) {
+        w.counted = true;
+        ++stats_.injected;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+void FaultPlan::budget_exhausted(const char* what, NodeId node) const {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "%s outlasted the fault retry budget (%d retries of %lld "
+                "pcycles, node %d, t=%lld)",
+                what, config_->faults.retry_budget,
+                static_cast<long long>(config_->faults.retry_backoff), node,
+                static_cast<long long>(engine_->now()));
+  nc_assert_fail(__FILE__, __LINE__, "fault-retry-budget", buf);
+}
+
+sim::Task<void> FaultPlan::redeliver_update(core::Node& victim,
+                                            Addr block_base) {
+  ++stats_.retries;
+  co_await engine_->delay(
+      retry_backoff(),
+      sim::make_trace_tag(victim.id(), sim::TraceTagKind::kFault));
+  victim.apply_remote_update(block_base);
+  ++stats_.recovered;
+}
+
+sim::Task<void> FaultPlan::reinvalidate(core::Node& victim, Addr block_base) {
+  ++stats_.retries;
+  co_await engine_->delay(
+      retry_backoff(),
+      sim::make_trace_tag(victim.id(), sim::TraceTagKind::kFault));
+  victim.apply_invalidate(block_base);
+  ++stats_.recovered;
+}
+
+sim::Task<void> FaultPlan::outage_gate(NodeId src) {
+  if (!channel_down(engine_->now())) co_return;
+  if (!recovery()) {
+    // The transaction vanishes into the dead channel. The queue eventually
+    // drains and the BlockedRegistry names this wait in the deadlock report.
+    ++stats_.unrecovered;
+    co_await black_hole_.wait(*engine_,
+                              sim::WaiterTag{src, "fault-outage"});
+    co_return;
+  }
+  int tries = 0;
+  while (channel_down(engine_->now())) {
+    if (++tries > retry_budget()) budget_exhausted("channel outage", src);
+    ++stats_.retries;
+    co_await engine_->delay(retry_backoff(),
+                            sim::make_trace_tag(src, sim::TraceTagKind::kFault));
+  }
+  ++stats_.recovered;
+}
+
+sim::Task<void> FaultPlan::stall_gate(NodeId requester, NodeId home) {
+  if (!node_stalled(home, engine_->now())) co_return;
+  if (!recovery()) {
+    ++stats_.unrecovered;
+    co_await black_hole_.wait(*engine_,
+                              sim::WaiterTag{requester, "fault-stall"});
+    co_return;
+  }
+  int tries = 0;
+  while (node_stalled(home, engine_->now())) {
+    if (++tries > retry_budget()) {
+      budget_exhausted("stalled memory module", home);
+    }
+    ++stats_.retries;
+    co_await engine_->delay(
+        retry_backoff(),
+        sim::make_trace_tag(requester, sim::TraceTagKind::kFault));
+  }
+  ++stats_.recovered;
+}
+
+}  // namespace netcache::faults

@@ -1,0 +1,130 @@
+// Deterministic protocol-fault injection. A FaultPlan is built once per
+// Machine from MachineConfig::faults: the spec string is parsed into fault
+// instances, each armed at a virtual time derived from the fault seed alone
+// (SplitMix64 draws in parse order), so the schedule is identical on every
+// run and at any sweep --jobs count. Protocol stacks query the plan at their
+// injection sites:
+//
+//   drop-update      a sharer is skipped in an update delivery loop
+//   corrupt-update   the home memory misses (rejects) a committed update
+//   ring-slot        a NetCache ring slot misses its refresh after a write
+//   drop-invalidate  a sharer is skipped in an I-SPEED invalidation loop
+//   outage           the coherence channel is down for a window of pcycles
+//   stall            one node's memory module is unresponsive for a window
+//
+// With recovery on (the default), each site runs its matching recovery path:
+// retransmit the missed update/invalidation after a backoff, scrub and
+// refill the stale ring slot, or retry/NACK-backoff through outage and stall
+// windows under a bounded retry budget. With recovery off the fault's effect
+// is left in place — config validation then requires the coherence oracle,
+// which (with the run watchdog and deadlock diagnostics) must catch every
+// unmasked fault; there is no silent-wrong-result path. Counters for both
+// modes land in FaultStats and the RunSummary.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/config.hpp"
+#include "src/common/stats.hpp"
+#include "src/common/types.hpp"
+#include "src/sim/task.hpp"
+#include "src/sim/wait_list.hpp"
+
+namespace netcache::sim {
+class Engine;
+}
+namespace netcache::core {
+class Node;
+}
+
+namespace netcache::faults {
+
+enum class FaultKind {
+  kDropUpdate,
+  kCorruptUpdate,
+  kRingSlot,
+  kDropInvalidate,
+  kOutage,
+  kStall,
+};
+
+const char* to_string(FaultKind kind);
+
+/// Parses config.faults.spec and checks every item applies to config.system
+/// (ring-slot needs the NetCache shared cache, drop-invalidate needs the
+/// I-SPEED protocol, drop/corrupt-update need an update protocol). Throws
+/// ConfigError naming the offending item. Called from MachineConfig::validate.
+void validate_spec(const MachineConfig& config);
+
+class FaultPlan {
+ public:
+  FaultPlan(const MachineConfig& config, sim::Engine& engine);
+
+  bool recovery() const { return config_->faults.recovery; }
+  int retry_budget() const { return config_->faults.retry_budget; }
+  Cycles retry_backoff() const { return config_->faults.retry_backoff; }
+
+  // --- Direct (single-event) faults ---------------------------------------
+  /// True when an instance of `kind` is scheduled at or before `now`. The
+  /// site must call consume() once it actually applies the effect (a fault
+  /// with no eligible victim stays armed for the next opportunity).
+  bool armed(FaultKind kind, Cycles now) const;
+  void consume(FaultKind kind);
+
+  // --- Window faults -------------------------------------------------------
+  /// True while an outage window covers `now`. First observation of each
+  /// window counts it as injected.
+  bool channel_down(Cycles now);
+  /// True while a stall window whose victim is `node` covers `now`.
+  bool node_stalled(NodeId node, Cycles now);
+
+  /// Awaited at the head of every coherence transaction. No-op outside an
+  /// outage window. Inside one: with recovery, backoff-retries until the
+  /// channel returns (bounded by the retry budget, diagnosed abort beyond
+  /// it); without recovery, parks forever on a black-hole wait list so the
+  /// drained event queue produces a deadlock report naming the outage.
+  sim::Task<void> outage_gate(NodeId src);
+  /// Same, for a request to `home`'s memory while that node is stalled
+  /// (models NACK + retry from an unresponsive memory module).
+  sim::Task<void> stall_gate(NodeId requester, NodeId home);
+
+  /// Drop-update recovery, spawned by the update stacks: the victim's NI
+  /// detected the sequence gap and invalidated its line at the drop instant
+  /// (so the stale copy can never serve a read); this coroutine models the
+  /// retransmission arriving one backoff later.
+  sim::Task<void> redeliver_update(core::Node& victim, Addr block_base);
+  /// Drop-invalidate recovery, awaited by I-SPEED before the exclusive
+  /// grant: the directory re-sends the missed invalidation after a backoff,
+  /// delaying the grant until the victim's ack.
+  sim::Task<void> reinvalidate(core::Node& victim, Addr block_base);
+
+  // Recovery bookkeeping for the protocol-side sites.
+  void note_recovered() { ++stats_.recovered; }
+  void note_retry() { ++stats_.retries; }
+  void note_unrecovered() { ++stats_.unrecovered; }
+
+  const FaultStats& stats() const { return stats_; }
+
+ private:
+  struct Window {
+    Cycles start = 0;
+    Cycles end = 0;
+    NodeId victim = kNoNode;  // stall only
+    bool counted = false;     // injected++ on first observation
+  };
+
+  [[noreturn]] void budget_exhausted(const char* what, NodeId node) const;
+
+  const MachineConfig* config_;
+  sim::Engine* engine_;
+  // Arm times per direct kind, ascending; cursor marks consumed prefix.
+  std::vector<Cycles> arm_times_[4];
+  std::size_t cursor_[4] = {0, 0, 0, 0};
+  std::vector<Window> outages_;
+  std::vector<Window> stalls_;
+  sim::WaitList black_hole_{"FaultBlackHole"};
+  FaultStats stats_;
+};
+
+}  // namespace netcache::faults

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/common/nc_assert.hpp"
+
 namespace netcache::memory {
 
 Cycles MemoryModule::claim(Cycles& port, Cycles service) {
@@ -25,10 +27,14 @@ sim::Task<void> MemoryModule::read_block() {
 }
 
 sim::Task<void> MemoryModule::enqueue_update(int words) {
+  NC_ASSERT(words > 0, "memory update with no words");
   ++updates_queued_;
   Cycles now = engine_->now();
   prune(now);
   Cycles completion = claim(write_busy_, update_service(words));
+  NC_ASSERT(update_completions_.empty() ||
+                completion >= update_completions_.back(),
+            "memory write queue completions must stay FIFO-ordered");
   update_completions_.push_back(completion);
   std::size_t pending = update_completions_.size();
   if (pending > static_cast<std::size_t>(hysteresis_)) {
@@ -43,6 +49,7 @@ sim::Task<void> MemoryModule::enqueue_update(int words) {
 }
 
 sim::Task<void> MemoryModule::write_back_block(int block_words) {
+  NC_ASSERT(block_words > 0, "writeback of an empty block");
   Cycles done = claim(write_busy_, update_service(block_words));
   co_await engine_->delay(done - engine_->now());
 }

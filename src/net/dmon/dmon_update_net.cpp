@@ -1,10 +1,15 @@
 #include "src/net/dmon/dmon_update_net.hpp"
 
+#include "src/common/nc_assert.hpp"
+#include "src/faults/faults.hpp"
+#include "src/net/update_common.hpp"
+
 namespace netcache::net {
 
 DmonUpdateNet::DmonUpdateNet(core::Machine& machine)
     : machine_(&machine),
       lat_(&machine.latencies()),
+      faults_(machine.faults()),
       fabric_(machine, /*broadcast_channels=*/2) {}
 
 sim::Task<core::FetchResult> DmonUpdateNet::fetch_block(NodeId requester,
@@ -16,6 +21,7 @@ sim::Task<core::FetchResult> DmonUpdateNet::fetch_block(NodeId requester,
     co_return core::FetchResult{};
   }
   co_await fabric_.send_request(requester, home);
+  if (faults_ != nullptr) co_await faults_->stall_gate(requester, home);
   // Memory is always up to date under update coherence: the home replies
   // immediately.
   co_await machine_->node(home).mem().read_block();
@@ -26,6 +32,8 @@ sim::Task<core::FetchResult> DmonUpdateNet::fetch_block(NodeId requester,
 
 sim::Task<void> DmonUpdateNet::drain_write(NodeId src,
                                            const cache::WriteEntry& entry) {
+  NC_ASSERT(!entry.is_private, "private write routed to the interconnect");
+  NC_ASSERT(entry.dirty_words() > 0, "drained an update with no dirty words");
   sim::Engine& eng = machine_->engine();
   NodeId home = machine_->address_space().home(entry.block_base);
   NodeStats& st = machine_->node(src).stats();
@@ -33,13 +41,12 @@ sim::Task<void> DmonUpdateNet::drain_write(NodeId src,
   ++st.updates_sent;
   st.update_words += static_cast<std::uint64_t>(words);
 
+  if (faults_ != nullptr) co_await faults_->outage_gate(src);
   co_await eng.delay(lat_->l2_tag_check + lat_->write_to_ni);
   co_await fabric_.broadcast(src, fabric_.broadcast_channel_of(src),
                              lat_->update_message(words, true));
-  for (NodeId n = 0; n < machine_->nodes(); ++n) {
-    if (n != src) machine_->node(n).apply_remote_update(entry.block_base);
-  }
-  co_await machine_->node(home).mem().enqueue_update(words);
+  deliver_update_broadcast(*machine_, src, entry.block_base);
+  co_await home_memory_update(*machine_, src, home, entry.block_base, words);
   // Ack: reservation + short message back on the broadcast channel.
   co_await fabric_.reserve(home);
   co_await eng.delay(lat_->ack + lat_->flight);

@@ -7,6 +7,10 @@
 #include "src/core/machine.hpp"
 #include "src/net/dmon/dmon_fabric.hpp"
 
+namespace netcache::faults {
+class FaultPlan;
+}
+
 namespace netcache::net {
 
 class DmonUpdateNet final : public core::Interconnect {
@@ -23,6 +27,7 @@ class DmonUpdateNet final : public core::Interconnect {
  private:
   core::Machine* machine_;
   const LatencyParams* lat_;
+  faults::FaultPlan* faults_;  // null unless faults are configured
   DmonFabric fabric_;
 };
 

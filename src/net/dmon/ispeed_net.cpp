@@ -1,10 +1,16 @@
 #include "src/net/dmon/ispeed_net.hpp"
 
+#include "src/common/nc_assert.hpp"
+#include "src/faults/faults.hpp"
+#include "src/verify/oracle.hpp"
+
 namespace netcache::net {
 
 ISpeedNet::ISpeedNet(core::Machine& machine)
     : machine_(&machine),
       lat_(&machine.latencies()),
+      oracle_(machine.oracle()),
+      faults_(machine.faults()),
       fabric_(machine, /*broadcast_channels=*/1) {}
 
 NodeId ISpeedNet::owner_of(Addr block_base) const {
@@ -19,6 +25,7 @@ sim::Task<core::FetchResult> ISpeedNet::fetch_block(NodeId requester,
 
   if (home != requester) {
     co_await fabric_.send_request(requester, home);
+    if (faults_ != nullptr) co_await faults_->stall_gate(requester, home);
   }
 
   NodeId owner = owner_of(block);
@@ -29,7 +36,12 @@ sim::Task<core::FetchResult> ISpeedNet::fetch_block(NodeId requester,
     // The owner holds the only up-to-date (dirty) copy, so the miss must be
     // forwarded ("if necessary", Section 2.2): directory lookup at the
     // home, forward on the owner's home channel, the owner's L2 access, and
-    // a clean copy back on the requester's home channel.
+    // a clean copy back on the requester's home channel. The oracle checks
+    // the owner here, at the decision instant the directory/owner state was
+    // sampled — by the time the forward's latencies elapse the owner may
+    // have legitimately lost the copy (stale-sample race the timing model
+    // tolerates).
+    if (oracle_ != nullptr) oracle_->on_owner_forward(owner, block);
     co_await machine_->node(home).mem().directory_access();
     if (owner != home) {
       co_await fabric_.send_request(home, owner);
@@ -38,6 +50,7 @@ sim::Task<core::FetchResult> ISpeedNet::fetch_block(NodeId requester,
     co_await fabric_.send_block_reply(owner, requester);
     co_await eng.delay(lat_->ni_to_l2);
     result.fill_state = cache::LineState::kClean;
+    result.source = core::FillSource::kForward;
     co_return result;
   }
 
@@ -59,6 +72,8 @@ sim::Task<core::FetchResult> ISpeedNet::fetch_block(NodeId requester,
 
 sim::Task<void> ISpeedNet::drain_write(NodeId src,
                                        const cache::WriteEntry& entry) {
+  NC_ASSERT(!entry.is_private, "private write routed to the interconnect");
+  NC_ASSERT(entry.dirty_words() > 0, "drained a write with no dirty words");
   sim::Engine& eng = machine_->engine();
   Addr block = entry.block_base;
   NodeStats& st = machine_->node(src).stats();
@@ -67,15 +82,45 @@ sim::Task<void> ISpeedNet::drain_write(NodeId src,
   if (writer.l2().state(block) == cache::LineState::kExclusive) {
     // Already the exclusive owner: the write completes locally.
     co_await eng.delay(lat_->l2_tag_check + lat_->ispeed_l2_write);
+    if (oracle_ != nullptr) oracle_->on_store_commit(src, block);
     co_return;
   }
 
   // Acquire ownership: broadcast an invalidation (Table 3 DMON-I column).
   ++st.ownership_requests;
+  if (faults_ != nullptr) co_await faults_->outage_gate(src);
   co_await eng.delay(lat_->l2_tag_check + lat_->ispeed_write_to_ni);
   co_await fabric_.broadcast(src, 0, lat_->invalidate_message);
+  if (oracle_ != nullptr) oracle_->on_invalidate_broadcast(block);
+
+  // drop-invalidate: one sharer misses the broadcast. The fault needs a
+  // victim actually caching the block; otherwise it stays armed.
+  NodeId drop_victim = kNoNode;
+  if (faults_ != nullptr &&
+      faults_->armed(faults::FaultKind::kDropInvalidate, eng.now())) {
+    for (NodeId n = 0; n < machine_->nodes(); ++n) {
+      if (n != src && machine_->node(n).l2().contains(block)) {
+        drop_victim = n;
+        break;
+      }
+    }
+    if (drop_victim != kNoNode) {
+      faults_->consume(faults::FaultKind::kDropInvalidate);
+    }
+  }
   for (NodeId n = 0; n < machine_->nodes(); ++n) {
-    if (n != src) machine_->node(n).apply_invalidate(block);
+    if (n != src && n != drop_victim) machine_->node(n).apply_invalidate(block);
+  }
+  if (drop_victim != kNoNode) {
+    if (faults_->recovery()) {
+      // The victim's missing ack holds up the ownership grant until the
+      // directory's re-sent invalidation lands (awaited, not spawned).
+      co_await faults_->reinvalidate(machine_->node(drop_victim), block);
+    } else {
+      // The stale copy stays; the oracle's single-writer epoch check trips
+      // at the grant below.
+      faults_->note_unrecovered();
+    }
   }
   {
     // The directory update proceeds at the home memory off the critical
@@ -90,6 +135,9 @@ sim::Task<void> ISpeedNet::drain_write(NodeId src,
     // Write miss: fetch the block before completing the write (the common
     // case is a write hit, since apps read before writing).
     NodeId home = machine_->address_space().home(block);
+    if (faults_ != nullptr && home != src) {
+      co_await faults_->stall_gate(src, home);
+    }
     co_await machine_->node(home).mem().read_block();
     if (home != src) {
       co_await fabric_.send_block_reply(home, src);
@@ -98,8 +146,12 @@ sim::Task<void> ISpeedNet::drain_write(NodeId src,
     auto evicted =
         writer.l2().insert(block, cache::LineState::kExclusive, eng.now());
     if (evicted && !machine_->address_space().is_private(evicted->block_base)) {
+      if (oracle_ != nullptr) oracle_->on_evict(src, evicted->block_base);
       on_l2_eviction(src, evicted->block_base, evicted->state);
       writer.invalidate_l1_block(evicted->block_base);
+    }
+    if (oracle_ != nullptr) {
+      oracle_->on_fill(src, block, verify::CoherenceOracle::FillSource::kMemory);
     }
   }
 
@@ -107,6 +159,12 @@ sim::Task<void> ISpeedNet::drain_write(NodeId src,
   NodeId home = machine_->address_space().home(block);
   co_await fabric_.reserve(home);
   co_await eng.delay(lat_->ack + lat_->flight + lat_->ispeed_l2_write);
+  if (oracle_ != nullptr) {
+    // Grant check first (every pre-broadcast copy must be gone), then the
+    // commit itself, which opens the new single-writer epoch.
+    oracle_->on_exclusive_grant(src, block);
+    oracle_->on_store_commit(src, block);
+  }
   writer.l2().set_state(block, cache::LineState::kExclusive);
 }
 

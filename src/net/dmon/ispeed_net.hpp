@@ -11,6 +11,13 @@
 #include "src/core/machine.hpp"
 #include "src/net/dmon/dmon_fabric.hpp"
 
+namespace netcache::faults {
+class FaultPlan;
+}
+namespace netcache::verify {
+class CoherenceOracle;
+}
+
 namespace netcache::net {
 
 class ISpeedNet final : public core::Interconnect {
@@ -35,6 +42,8 @@ class ISpeedNet final : public core::Interconnect {
 
   core::Machine* machine_;
   const LatencyParams* lat_;
+  verify::CoherenceOracle* oracle_;  // null unless --verify
+  faults::FaultPlan* faults_;        // null unless faults are configured
   DmonFabric fabric_;
   std::unordered_map<Addr, NodeId> directory_;  // absent -> memory owns
 };

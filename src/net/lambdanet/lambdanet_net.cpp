@@ -1,9 +1,14 @@
 #include "src/net/lambdanet/lambdanet_net.hpp"
 
+#include "src/common/nc_assert.hpp"
+#include "src/faults/faults.hpp"
+#include "src/net/update_common.hpp"
+
 namespace netcache::net {
 
 LambdaNetNet::LambdaNetNet(core::Machine& machine)
-    : machine_(&machine), lat_(&machine.latencies()) {
+    : machine_(&machine), lat_(&machine.latencies()),
+      faults_(machine.faults()) {
   for (int n = 0; n < machine.nodes(); ++n) {
     channels_.push_back(std::make_unique<sim::Resource>(machine.engine()));
   }
@@ -21,6 +26,7 @@ sim::Task<core::FetchResult> LambdaNetNet::fetch_block(NodeId requester,
   co_await channels_[static_cast<std::size_t>(requester)]->use(
       lat_->mem_request);
   co_await eng.delay(lat_->flight);
+  if (faults_ != nullptr) co_await faults_->stall_gate(requester, home);
   co_await machine_->node(home).mem().read_block();
   co_await channels_[static_cast<std::size_t>(home)]->use(
       lat_->block_transfer);
@@ -30,6 +36,8 @@ sim::Task<core::FetchResult> LambdaNetNet::fetch_block(NodeId requester,
 
 sim::Task<void> LambdaNetNet::drain_write(NodeId src,
                                           const cache::WriteEntry& entry) {
+  NC_ASSERT(!entry.is_private, "private write routed to the interconnect");
+  NC_ASSERT(entry.dirty_words() > 0, "drained an update with no dirty words");
   sim::Engine& eng = machine_->engine();
   NodeId home = machine_->address_space().home(entry.block_base);
   NodeStats& st = machine_->node(src).stats();
@@ -37,14 +45,13 @@ sim::Task<void> LambdaNetNet::drain_write(NodeId src,
   ++st.updates_sent;
   st.update_words += static_cast<std::uint64_t>(words);
 
+  if (faults_ != nullptr) co_await faults_->outage_gate(src);
   co_await eng.delay(lat_->l2_tag_check + lat_->write_to_ni);
   co_await channels_[static_cast<std::size_t>(src)]->use(
       lat_->update_message(words, false));
   co_await eng.delay(lat_->flight);
-  for (NodeId n = 0; n < machine_->nodes(); ++n) {
-    if (n != src) machine_->node(n).apply_remote_update(entry.block_base);
-  }
-  co_await machine_->node(home).mem().enqueue_update(words);
+  deliver_update_broadcast(*machine_, src, entry.block_base);
+  co_await home_memory_update(*machine_, src, home, entry.block_base, words);
   co_await channels_[static_cast<std::size_t>(home)]->use(lat_->ack);
   co_await eng.delay(lat_->flight);
 }

@@ -11,6 +11,10 @@
 #include "src/core/machine.hpp"
 #include "src/sim/resource.hpp"
 
+namespace netcache::faults {
+class FaultPlan;
+}
+
 namespace netcache::net {
 
 class LambdaNetNet final : public core::Interconnect {
@@ -27,6 +31,7 @@ class LambdaNetNet final : public core::Interconnect {
  private:
   core::Machine* machine_;
   const LatencyParams* lat_;
+  faults::FaultPlan* faults_;  // null unless faults are configured
   // Node i's transmit channel: read requests, updates, replies and acks from
   // node i all serialize here (reads and writes are NOT decoupled — one of
   // the paper's stated LambdaNet contention weaknesses).

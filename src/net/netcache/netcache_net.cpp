@@ -1,6 +1,9 @@
 #include "src/net/netcache/netcache_net.hpp"
 
 #include "src/common/nc_assert.hpp"
+#include "src/faults/faults.hpp"
+#include "src/net/update_common.hpp"
+#include "src/verify/oracle.hpp"
 
 namespace netcache::net {
 
@@ -14,6 +17,8 @@ int coherence_member_of(NodeId node) { return node / 2; }
 NetCacheNet::NetCacheNet(core::Machine& machine, bool with_ring)
     : machine_(&machine),
       lat_(&machine.latencies()),
+      oracle_(machine.oracle()),
+      faults_(machine.faults()),
       request_channel_(machine.engine(), machine.nodes(), 1) {
   const MachineConfig& cfg = machine.config();
   int members = (cfg.nodes + 1) / 2;
@@ -64,6 +69,7 @@ sim::Task<core::FetchResult> NetCacheNet::fetch_block(NodeId requester,
   if (ring_) {
     co_await wait_update_window(requester, block);
     if (auto arrive = ring_->arrival_time(block, requester, eng.now())) {
+      if (oracle_ != nullptr) oracle_->on_ring_hit(requester, block);
       if (machine_->config().reads_start_on_star) {
         // Shared cache hit: the read also started on the star subnetwork
         // (the home sees the block cached and disregards the request).
@@ -73,7 +79,8 @@ sim::Task<core::FetchResult> NetCacheNet::fetch_block(NodeId requester,
       ring_->touch(block, eng.now());
       co_await eng.delay(*arrive - eng.now());
       co_await eng.delay(lat_->ni_to_l2);
-      co_return core::FetchResult{true, cache::LineState::kValid};
+      co_return core::FetchResult{true, cache::LineState::kValid,
+                                  core::FillSource::kRing};
     }
     if (!machine_->config().reads_start_on_star) {
       // Ring-only ablation (Section 3.4): the miss is only known once the
@@ -91,16 +98,19 @@ sim::Task<core::FetchResult> NetCacheNet::fetch_block(NodeId requester,
   if (ring_ && ring_->contains(block)) {
     // The block was inserted while our request was in flight; the home
     // disregards the request and we take it from the ring.
+    if (oracle_ != nullptr) oracle_->on_ring_hit(requester, block);
     ++st.shared_cache_hits;
     auto arrive = ring_->arrival_time(block, requester, eng.now());
     NC_ASSERT(arrive.has_value(), "ring lost a block it contains");
     ring_->touch(block, eng.now());
     co_await eng.delay(*arrive - eng.now());
     co_await eng.delay(lat_->ni_to_l2);
-    co_return core::FetchResult{true, cache::LineState::kValid};
+    co_return core::FetchResult{true, cache::LineState::kValid,
+                                core::FillSource::kRing};
   }
   if (ring_) ++st.shared_cache_misses;
 
+  if (faults_ != nullptr) co_await faults_->stall_gate(requester, home);
   co_await machine_->node(home).mem().read_block();
   Cycles transfer = lat_->block_transfer;
   if (ring_) {
@@ -114,7 +124,9 @@ sim::Task<core::FetchResult> NetCacheNet::fetch_block(NodeId requester,
                          (cfg.l2.block_bytes / kWordBytes / 2) * 8);
       transfer = lat_->payload_cycles(cfg.ring.block_bytes * 8);
     }
-    ring_->insert(block, eng.now());  // home also places the line on the ring
+    // The home also places the line on the ring.
+    auto ring_evicted = ring_->insert(block, eng.now());
+    if (oracle_ != nullptr) oracle_->on_ring_insert(block, ring_evicted);
   }
   co_await home_channels_[static_cast<std::size_t>(home)]->use(transfer);
   co_await eng.delay(lat_->flight + lat_->ni_to_l2);
@@ -123,6 +135,8 @@ sim::Task<core::FetchResult> NetCacheNet::fetch_block(NodeId requester,
 
 sim::Task<void> NetCacheNet::drain_write(NodeId src,
                                          const cache::WriteEntry& entry) {
+  NC_ASSERT(!entry.is_private, "private write routed to the interconnect");
+  NC_ASSERT(entry.dirty_words() > 0, "drained an update with no dirty words");
   sim::Engine& eng = machine_->engine();
   NodeId home = machine_->address_space().home(entry.block_base);
   NodeStats& st = machine_->node(src).stats();
@@ -130,24 +144,51 @@ sim::Task<void> NetCacheNet::drain_write(NodeId src,
   ++st.updates_sent;
   st.update_words += static_cast<std::uint64_t>(words);
 
+  if (faults_ != nullptr) co_await faults_->outage_gate(src);
   co_await eng.delay(lat_->l2_tag_check + lat_->write_to_ni);
   int ch = coherence_channel_of(src);
   co_await coherence_channels_[static_cast<std::size_t>(ch)]->transmit(
       coherence_member_of(src), lat_->update_message(words, true));
   co_await eng.delay(lat_->flight);
 
-  // Broadcast delivery: every other node snoops the update into its L2.
-  for (NodeId n = 0; n < machine_->nodes(); ++n) {
-    if (n != src) machine_->node(n).apply_remote_update(entry.block_base);
-  }
-  if (ring_ && ring_->refresh(entry.block_base, eng.now())) {
-    // There is a window until the home rewrites the circulating copy; reads
-    // in that window must wait (second critical race, Section 3.4).
-    update_window_[entry.block_base] = eng.now() + window_cycles_;
+  // Broadcast delivery: every other node snoops the update into its L2
+  // (commit hook + drop-update injection live in the shared helper).
+  deliver_update_broadcast(*machine_, src, entry.block_base);
+
+  if (ring_ != nullptr) {
+    bool scrubbed = false;
+    if (faults_ != nullptr && ring_->contains(entry.block_base) &&
+        faults_->armed(faults::FaultKind::kRingSlot, eng.now())) {
+      faults_->consume(faults::FaultKind::kRingSlot);
+      if (faults_->recovery()) {
+        // Scrub: the home drops the slot it failed to rewrite; the next
+        // miss refills the line from the (current) home memory.
+        ring_->drop(entry.block_base);
+        if (oracle_ != nullptr) oracle_->on_ring_drop(entry.block_base);
+        faults_->note_recovered();
+      } else {
+        // The stale copy keeps circulating until a read or the end-of-run
+        // audit trips over it.
+        faults_->note_unrecovered();
+      }
+      scrubbed = true;
+    }
+    if (!scrubbed) {
+      const bool present = ring_->refresh(entry.block_base, eng.now());
+      if (oracle_ != nullptr) {
+        oracle_->on_ring_refresh(entry.block_base, present);
+      }
+      if (present) {
+        // There is a window until the home rewrites the circulating copy;
+        // reads in that window must wait (second critical race, Section 3.4).
+        update_window_[entry.block_base] = eng.now() + window_cycles_;
+      }
+    }
   }
 
-  // Home queues the update into memory and acks over the request channel.
-  co_await machine_->node(home).mem().enqueue_update(words);
+  // Home queues the update into memory (corrupt-update injection site) and
+  // acks over the request channel.
+  co_await home_memory_update(*machine_, src, home, entry.block_base, words);
   co_await request_channel_.transmit(home);
   co_await eng.delay(lat_->flight);
 }

@@ -13,6 +13,13 @@
 #include "src/sim/resource.hpp"
 #include "src/sim/tdma.hpp"
 
+namespace netcache::faults {
+class FaultPlan;
+}
+namespace netcache::verify {
+class CoherenceOracle;
+}
+
 namespace netcache::net {
 
 class NetCacheNet final : public core::Interconnect {
@@ -42,6 +49,8 @@ class NetCacheNet final : public core::Interconnect {
 
   core::Machine* machine_;
   const LatencyParams* lat_;
+  verify::CoherenceOracle* oracle_;  // null unless the run is verified
+  faults::FaultPlan* faults_;        // null unless faults are configured
   sim::TdmaChannel request_channel_;
   std::vector<std::unique_ptr<sim::VarSlotTdma>> coherence_channels_;
   std::vector<std::unique_ptr<sim::Resource>> home_channels_;

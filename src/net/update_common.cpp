@@ -1,0 +1,81 @@
+#include "src/net/update_common.hpp"
+
+#include "src/core/machine.hpp"
+#include "src/faults/faults.hpp"
+#include "src/verify/oracle.hpp"
+
+namespace netcache::net {
+
+void deliver_update_broadcast(core::Machine& machine, NodeId src,
+                              Addr block_base) {
+  sim::Engine& eng = machine.engine();
+  verify::CoherenceOracle* oracle = machine.oracle();
+  faults::FaultPlan* faults = machine.faults();
+
+  // Commit point: the update is on the broadcast medium; every snoop below
+  // happens at this same virtual instant.
+  if (oracle != nullptr) oracle->on_store_commit(src, block_base);
+
+  NodeId drop_victim = kNoNode;
+  if (faults != nullptr &&
+      faults->armed(faults::FaultKind::kDropUpdate, eng.now())) {
+    // The fault needs a victim actually caching the block; otherwise it
+    // stays armed for the next update.
+    for (NodeId n = 0; n < machine.nodes(); ++n) {
+      if (n != src && machine.node(n).l2().contains(block_base)) {
+        drop_victim = n;
+        break;
+      }
+    }
+    if (drop_victim != kNoNode) {
+      faults->consume(faults::FaultKind::kDropUpdate);
+    }
+  }
+
+  for (NodeId n = 0; n < machine.nodes(); ++n) {
+    if (n == src || n == drop_victim) continue;
+    machine.node(n).apply_remote_update(block_base);
+  }
+
+  if (drop_victim != kNoNode) {
+    if (faults->recovery()) {
+      // The victim's NI sees the sequence gap: invalidate the now-stale line
+      // immediately (a read refetches from the current home memory) and take
+      // the retransmission one backoff later.
+      machine.node(drop_victim).apply_invalidate(block_base);
+      eng.spawn(
+          faults->redeliver_update(machine.node(drop_victim), block_base));
+    } else {
+      faults->note_unrecovered();
+    }
+  }
+}
+
+sim::Task<void> home_memory_update(core::Machine& machine, NodeId src,
+                                   NodeId home, Addr block_base, int words) {
+  sim::Engine& eng = machine.engine();
+  verify::CoherenceOracle* oracle = machine.oracle();
+  faults::FaultPlan* faults = machine.faults();
+
+  if (faults != nullptr &&
+      faults->armed(faults::FaultKind::kCorruptUpdate, eng.now())) {
+    faults->consume(faults::FaultKind::kCorruptUpdate);
+    if (faults->recovery()) {
+      // Home ECC rejects the corrupted payload; the writer retransmits
+      // after a backoff and only then does memory absorb the update.
+      faults->note_retry();
+      co_await eng.delay(faults->retry_backoff(),
+                         sim::make_trace_tag(src, sim::TraceTagKind::kFault));
+      co_await machine.node(home).mem().enqueue_update(words);
+      if (oracle != nullptr) oracle->on_mem_update(block_base);
+      faults->note_recovered();
+    } else {
+      faults->note_unrecovered();
+    }
+    co_return;
+  }
+  if (oracle != nullptr) oracle->on_mem_update(block_base);
+  co_await machine.node(home).mem().enqueue_update(words);
+}
+
+}  // namespace netcache::net

@@ -1,0 +1,33 @@
+// The two halves of an update-broadcast commit shared by the three
+// write-update stacks (NetCache, LambdaNet, DMON-U): snoop delivery to every
+// other node and the home-memory absorb. Both carry the coherence-oracle
+// hooks and the drop-update / corrupt-update fault-injection sites, so the
+// protocols stay free of triplicated robustness plumbing.
+#pragma once
+
+#include "src/common/types.hpp"
+#include "src/sim/task.hpp"
+
+namespace netcache::core {
+class Machine;
+}
+
+namespace netcache::net {
+
+/// Commit + snoop delivery, all at the current virtual instant: records the
+/// store commit with the oracle, applies the update snoop to every node but
+/// `src`, and runs the drop-update injection site (with recovery, the
+/// victim's NI detects the sequence gap, invalidates the stale line, and a
+/// retransmission is spawned one backoff out).
+void deliver_update_broadcast(core::Machine& machine, NodeId src,
+                              Addr block_base);
+
+/// Home-memory absorb: bumps the oracle's memory version and enqueues the
+/// update into the home's memory module. Corrupt-update injection site: the
+/// home's ECC rejects the payload; with recovery the writer retransmits
+/// after a backoff, without it the memory is silently left stale (for the
+/// oracle or the end-of-run audit to catch).
+sim::Task<void> home_memory_update(core::Machine& machine, NodeId src,
+                                   NodeId home, Addr block_base, int words);
+
+}  // namespace netcache::net

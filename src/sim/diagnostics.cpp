@@ -21,6 +21,7 @@ const char* to_string(TraceTagKind kind) {
     case TraceTagKind::kCompute: return "compute";
     case TraceTagKind::kSync: return "sync";
     case TraceTagKind::kGrant: return "grant";
+    case TraceTagKind::kFault: return "fault";
   }
   return "?";
 }

@@ -106,6 +106,7 @@ enum class TraceTagKind : std::uint8_t {
   kCompute = 3,  // modeled ALU/FPU time
   kSync = 4,     // WaitList notify (locks, barriers, buffer waits)
   kGrant = 5,    // Resource handoff to the next FIFO waiter
+  kFault = 6,    // fault-injection retry/backoff wakeup (src/faults/)
 };
 
 const char* to_string(TraceTagKind kind);

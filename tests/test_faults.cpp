@@ -1,0 +1,271 @@
+// Fault-injection tests (src/faults/): the schedule is a pure function of
+// the fault seed (identical runs at any sweep width), every fault class
+// either recovers within its retry budget or is caught by the coherence
+// oracle / deadlock diagnostics, and contradictory configurations are
+// rejected up front. See DESIGN.md §11.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "src/apps/workload.hpp"
+#include "src/common/config.hpp"
+#include "src/common/sim_error.hpp"
+#include "src/core/machine.hpp"
+#include "src/core/run_summary.hpp"
+#include "src/sweep/sweep.hpp"
+
+namespace netcache {
+namespace {
+
+using core::Machine;
+using core::RunSummary;
+
+MachineConfig config_for(SystemKind kind, const std::string& spec) {
+  MachineConfig cfg;
+  cfg.nodes = 4;
+  cfg.system = kind;
+  cfg.faults.spec = spec;
+  return cfg;
+}
+
+RunSummary run_app(const MachineConfig& cfg, const std::string& app) {
+  Machine machine(cfg);
+  apps::WorkloadParams params;
+  params.scale = 0.2;
+  auto workload = apps::make_workload(app, params);
+  return machine.run(*workload);
+}
+
+/// Runs `fn`, which must throw SimError, and returns the diagnostic message.
+template <typename Fn>
+std::string diagnose(Fn&& fn) {
+  try {
+    fn();
+  } catch (const SimError& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "expected SimError";
+  return {};
+}
+
+void expect_rejected(MachineConfig cfg, const char* why_fragment) {
+  try {
+    Machine machine(cfg);
+    FAIL() << "expected ConfigError (" << why_fragment << ")";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find(why_fragment), std::string::npos)
+        << e.what();
+  }
+}
+
+// --- Determinism ----------------------------------------------------------
+
+TEST(FaultPlan, SameSeedSameScheduleSameRun) {
+  MachineConfig cfg =
+      config_for(SystemKind::kDmonUpdate, "drop-update:2,corrupt-update:1");
+  RunSummary a = run_app(cfg, "gauss");
+  RunSummary b = run_app(cfg, "gauss");
+  EXPECT_EQ(a.run_time, b.run_time);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.faults.injected, b.faults.injected);
+  EXPECT_EQ(a.faults.recovered, b.faults.recovered);
+  EXPECT_EQ(a.faults.retries, b.faults.retries);
+  EXPECT_TRUE(a.faults_enabled);
+  EXPECT_GT(a.faults.injected, 0u);
+}
+
+TEST(FaultPlan, DifferentSeedsMoveTheSchedule) {
+  MachineConfig cfg = config_for(SystemKind::kDmonUpdate, "outage:3@400");
+  RunSummary a = run_app(cfg, "gauss");
+  cfg.faults.seed = 1234567;
+  RunSummary b = run_app(cfg, "gauss");
+  // Arm times derive from the seed alone; with windows this long some run
+  // difference must show up (both still verify).
+  EXPECT_TRUE(a.verified);
+  EXPECT_TRUE(b.verified);
+  EXPECT_NE(a.run_time, b.run_time);
+}
+
+TEST(FaultPlan, BitIdenticalAtAnySweepWidth) {
+  // One faulted cell per system through the sweep driver at 1 and at 3
+  // worker threads: the fault schedule must not depend on scheduling.
+  auto sweep_times = [](int jobs) {
+    sweep::SweepDriver driver(jobs);
+    for (SystemKind kind :
+         {SystemKind::kNetCache, SystemKind::kLambdaNet,
+          SystemKind::kDmonUpdate}) {
+      sweep::Cell cell;
+      cell.app = "gauss";
+      cell.system = kind;
+      cell.nodes = 4;
+      cell.scale = 0.2;
+      cell.tweak = [](MachineConfig& config) {
+        config.faults.spec = "drop-update:1,outage:1@300";
+        config.verify = true;
+      };
+      driver.submit(std::move(cell));
+    }
+    std::vector<Cycles> times;
+    for (const auto& r : driver.run()) {
+      EXPECT_TRUE(r.ok) << r.error;
+      times.push_back(r.summary.run_time);
+    }
+    return times;
+  };
+  EXPECT_EQ(sweep_times(1), sweep_times(3));
+}
+
+// --- Every fault class recovers under its budget --------------------------
+
+struct RecoveryCase {
+  SystemKind system;
+  const char* spec;
+};
+
+TEST(FaultRecovery, EveryClassRecoversCleanly) {
+  const RecoveryCase cases[] = {
+      {SystemKind::kDmonUpdate, "drop-update:2"},
+      {SystemKind::kLambdaNet, "drop-update:1"},
+      {SystemKind::kDmonUpdate, "corrupt-update:2"},
+      {SystemKind::kNetCache, "ring-slot:1"},
+      {SystemKind::kDmonInvalidate, "drop-invalidate:1"},
+      {SystemKind::kNetCache, "outage:1@300"},
+      {SystemKind::kDmonUpdate, "stall:2@300"},
+      {SystemKind::kNetCache,
+       "drop-update:1,corrupt-update:1,outage:1@200,stall:1@200"},
+  };
+  for (const RecoveryCase& c : cases) {
+    MachineConfig cfg = config_for(c.system, c.spec);
+    cfg.verify = true;  // recovery must also satisfy the oracle
+    RunSummary s = run_app(cfg, "gauss");
+    EXPECT_TRUE(s.verified) << c.spec;
+    EXPECT_EQ(s.faults.unrecovered, 0u) << c.spec;
+    EXPECT_GT(s.faults.injected, 0u) << c.spec;
+    EXPECT_GE(s.faults.recovered, s.faults.injected) << c.spec;
+  }
+}
+
+TEST(FaultRecoveryDeath, RetryBudgetExhaustionIsDiagnosed) {
+  auto hopeless = [] {
+    // A 50k-cycle outage against a 4-retry budget of 16-cycle backoffs can
+    // never be ridden out; the site must abort with the budget report, not
+    // spin or hang.
+    MachineConfig cfg = config_for(SystemKind::kDmonUpdate, "outage:1@50000");
+    cfg.faults.retry_budget = 4;
+    cfg.faults.retry_backoff = 16;
+    run_app(cfg, "gauss");
+  };
+  EXPECT_DEATH(hopeless(), "outlasted the fault retry budget");
+}
+
+// --- Recovery off: every class is caught, never silent --------------------
+
+TEST(FaultNoRecoveryDeath, CorruptUpdateIsCaughtByTheOracle) {
+  auto mutant = [] {
+    MachineConfig cfg = config_for(SystemKind::kDmonUpdate, "corrupt-update:1");
+    cfg.verify = true;
+    cfg.faults.recovery = false;
+    run_app(cfg, "gauss");
+  };
+  EXPECT_DEATH(mutant(), "coherence violation");
+}
+
+TEST(FaultNoRecoveryDeath, StaleRingSlotIsCaughtByTheOracle) {
+  auto mutant = [] {
+    // wf re-reads the block whose rewrite the fault suppresses; gauss at
+    // this scale evicts the stale slot before any ring hit, in which case
+    // the fault genuinely has no observable effect to catch.
+    MachineConfig cfg = config_for(SystemKind::kNetCache, "ring-slot:1");
+    cfg.verify = true;
+    cfg.faults.recovery = false;
+    run_app(cfg, "wf");
+  };
+  EXPECT_DEATH(mutant(), "coherence violation");
+}
+
+TEST(FaultNoRecoveryDeath, DroppedInvalidateBreaksTheSingleWriterEpoch) {
+  auto mutant = [] {
+    MachineConfig cfg =
+        config_for(SystemKind::kDmonInvalidate, "drop-invalidate:1");
+    cfg.verify = true;
+    cfg.faults.recovery = false;
+    run_app(cfg, "gauss");
+  };
+  EXPECT_DEATH(mutant(), "coherence violation");
+}
+
+TEST(FaultNoRecovery, OutageWithoutRecoveryDeadlocksWithDiagnosis) {
+  MachineConfig cfg = config_for(SystemKind::kLambdaNet, "outage:1@200");
+  cfg.verify = true;
+  cfg.faults.recovery = false;
+  std::string report = diagnose([&] { run_app(cfg, "gauss"); });
+  EXPECT_NE(report.find("FaultBlackHole"), std::string::npos) << report;
+  EXPECT_NE(report.find("fault-outage"), std::string::npos) << report;
+}
+
+TEST(FaultNoRecovery, StallWithoutRecoveryDeadlocksWithDiagnosis) {
+  MachineConfig cfg = config_for(SystemKind::kDmonUpdate, "stall:3@200");
+  cfg.verify = true;
+  cfg.faults.recovery = false;
+  std::string report = diagnose([&] { run_app(cfg, "gauss"); });
+  EXPECT_NE(report.find("FaultBlackHole"), std::string::npos) << report;
+  EXPECT_NE(report.find("fault-stall"), std::string::npos) << report;
+}
+
+// --- Configuration validation ---------------------------------------------
+
+TEST(FaultConfig, GrammarErrorsAreRejected) {
+  expect_rejected(config_for(SystemKind::kDmonUpdate, "bogus:1"),
+                  "unknown fault kind");
+  expect_rejected(config_for(SystemKind::kDmonUpdate, "drop-update"),
+                  "missing its :count");
+  expect_rejected(config_for(SystemKind::kDmonUpdate, "drop-update:0"),
+                  "bad count");
+  expect_rejected(config_for(SystemKind::kDmonUpdate, "drop-update:1@50"),
+                  "@duration only applies to outage/stall");
+  expect_rejected(config_for(SystemKind::kDmonUpdate, "outage:1@0"),
+                  "bad duration");
+  expect_rejected(config_for(SystemKind::kDmonUpdate, ",drop-update:1"),
+                  "empty fault item");
+}
+
+TEST(FaultConfig, SystemApplicabilityIsChecked) {
+  expect_rejected(config_for(SystemKind::kLambdaNet, "ring-slot:1"),
+                  "ring-slot faults need the NetCache shared cache");
+  expect_rejected(config_for(SystemKind::kNetCache, "drop-invalidate:1"),
+                  "drop-invalidate faults need the I-SPEED protocol");
+  expect_rejected(config_for(SystemKind::kDmonInvalidate, "drop-update:1"),
+                  "need an update protocol");
+}
+
+TEST(FaultConfig, NoRecoveryRequiresTheOracle) {
+  // The CI verify job's NETCACHE_VERIFY=1 would legitimately satisfy the
+  // oracle requirement; this test is about the rejection path.
+  unsetenv("NETCACHE_VERIFY");
+  MachineConfig cfg = config_for(SystemKind::kDmonUpdate, "drop-update:1");
+  cfg.faults.recovery = false;  // verify stays off: silent-wrong-result risk
+  expect_rejected(cfg, "unless the coherence oracle is on");
+}
+
+TEST(FaultConfig, RetryKnobsMustBePositive) {
+  MachineConfig a = config_for(SystemKind::kDmonUpdate, "stall:1");
+  a.faults.retry_budget = 0;
+  expect_rejected(a, "retry budget");
+  MachineConfig b = config_for(SystemKind::kDmonUpdate, "stall:1");
+  b.faults.retry_backoff = 0;
+  expect_rejected(b, "retry backoff");
+}
+
+TEST(FaultConfig, FaultFreeRunsCarryNoFaultState) {
+  unsetenv("NETCACHE_VERIFY");  // the CI verify job forces the oracle on
+  MachineConfig cfg;
+  cfg.nodes = 4;
+  cfg.system = SystemKind::kDmonUpdate;
+  Machine machine(cfg);
+  EXPECT_EQ(machine.faults(), nullptr);
+  EXPECT_EQ(machine.oracle(), nullptr);
+}
+
+}  // namespace
+}  // namespace netcache
