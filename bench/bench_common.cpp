@@ -8,6 +8,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "src/sweep/result_cache.hpp"
+
 namespace netcache::bench {
 
 namespace {
@@ -75,7 +77,11 @@ const core::RunSummary& CellRef::summary() const {
                  "FATAL: CellRef::summary() before the sweep has run\n");
     std::abort();
   }
-  return g_driver->result(index_).summary;
+  // A failed cell's summary is default-constructed; folding it into a table
+  // would silently record zeros under this cell's row. Fail loudly instead.
+  const sweep::CellResult& r = g_driver->result(index_);
+  if (!r.ok) die_cell(g_driver->cell(index_), "failed", r.error);
+  return r.summary;
 }
 
 CellRef submit(const std::string& app, SystemKind system,
@@ -173,8 +179,10 @@ int bench_jobs() { return g_jobs > 0 ? g_jobs : sweep::default_jobs(); }
 
 int bench_main(int argc, char** argv,
                const std::vector<const Table*>& tables) {
-  // Strip --jobs=N before google-benchmark sees (and rejects) it.
+  // Strip our own flags before google-benchmark sees (and rejects) them.
   int out = 1;
+  bool no_cache = false;
+  const char* cache_dir = nullptr;
   for (int i = 1; i < argc; ++i) {
     const char* a = argv[i];
     if (std::strncmp(a, "--jobs=", 7) == 0) {
@@ -187,9 +195,28 @@ int bench_main(int argc, char** argv,
       g_jobs = static_cast<int>(n);
       continue;
     }
+    if (std::strncmp(a, "--cache=", 8) == 0) {
+      if (a[8] == '\0') {
+        std::fprintf(stderr, "bad --cache value: empty directory\n");
+        return 1;
+      }
+      cache_dir = a + 8;
+      continue;
+    }
+    if (std::strcmp(a, "--no-cache") == 0) {
+      no_cache = true;
+      continue;
+    }
     argv[out++] = argv[i];
   }
   argc = out;
+  // --no-cache beats --cache beats the NETCACHE_SWEEP_CACHE environment
+  // variable (which shared_cache() reads lazily when neither flag is given).
+  if (no_cache) {
+    sweep::disable_shared_cache();
+  } else if (cache_dir != nullptr) {
+    sweep::configure_shared_cache(cache_dir);
+  }
 
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
@@ -223,6 +250,16 @@ int bench_main(int argc, char** argv,
     if (failed) return 1;
     std::printf("sweep: %zu cells on %d worker(s) in %.2f s\n", driver.size(),
                 driver.jobs(), secs);
+    if (const sweep::ResultCache* cache = sweep::shared_cache()) {
+      sweep::CacheStats cs = cache->stats();
+      std::printf("cache: %llu hit(s), %llu miss(es), %llu store(s), "
+                  "%llu skip(s)  [%s]\n",
+                  static_cast<unsigned long long>(cs.hits),
+                  static_cast<unsigned long long>(cs.misses),
+                  static_cast<unsigned long long>(cs.stores),
+                  static_cast<unsigned long long>(cs.skips),
+                  cache->dir().c_str());
+    }
   }
 
   benchmark::RunSpecifiedBenchmarks();

@@ -100,6 +100,10 @@ class Table {
 /// tables. If the NETCACHE_BENCH_CSV_DIR environment variable is set, each
 /// table is also written there as <sanitized-title>.csv. `--jobs=N` (or
 /// NETCACHE_BENCH_JOBS) sets the worker count; 1 runs sequentially.
+/// `--cache=DIR` points the sweep result cache at DIR (overriding the
+/// NETCACHE_SWEEP_CACHE environment variable); `--no-cache` disables it.
+/// When caching is active, a hit/miss/store/skip line follows the sweep
+/// summary.
 int bench_main(int argc, char** argv,
                const std::vector<const Table*>& tables);
 

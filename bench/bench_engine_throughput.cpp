@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <thread>
 
 #include "bench/bench_common.hpp"
 #include "src/sim/engine.hpp"
@@ -224,6 +225,8 @@ void write_json(const char* path) {
   std::fprintf(f, "{\n");
   std::fprintf(f, "  \"benchmark\": \"bench_engine_throughput\",\n");
   std::fprintf(f, "  \"unit\": \"events/sec\",\n");
+  std::fprintf(f, "  \"host_hardware_threads\": %u,\n",
+               std::thread::hardware_concurrency());
   std::fprintf(f,
                "  \"baseline\": \"std::function events + std::priority_queue"
                " + malloc'd coroutine frames (pre allocation-free core)\",\n");

@@ -13,9 +13,11 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_common.hpp"
+#include "src/sweep/result_cache.hpp"
 
 using namespace netcache;
 
@@ -48,6 +50,9 @@ int main(int argc, char** argv) {
   // The oracle must not inherit the CI environment override: the "off" half
   // of every pair really measures the unverified baseline.
   unsetenv("NETCACHE_VERIFY");
+  // This bench times simulations; a result-cache hit would replace the work
+  // being timed (and the best-of-two passes would hit their own first pass).
+  sweep::disable_shared_cache();
   double scale = 1.0;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--scale=", 8) == 0) {
@@ -110,6 +115,8 @@ int main(int argc, char** argv) {
   std::fprintf(f, "  \"benchmark\": \"bench_verify_overhead\",\n");
   std::fprintf(f, "  \"grid\": \"tier-1 apps (gauss, wf) x 4 systems\",\n");
   std::fprintf(f, "  \"scale\": %.3f,\n", scale);
+  std::fprintf(f, "  \"host_hardware_threads\": %u,\n",
+               std::thread::hardware_concurrency());
   std::fprintf(f, "  \"worst_ratio\": %.3f,\n", worst_ratio);
   std::fprintf(f, "  \"target_ratio\": 2.0,\n");
   std::fprintf(f, "  \"bit_identical\": %s,\n",

@@ -22,6 +22,7 @@
 #include "src/common/sim_error.hpp"
 #include "src/core/machine.hpp"
 #include "src/core/report.hpp"
+#include "src/sweep/result_cache.hpp"
 #include "src/sweep/sweep.hpp"
 
 using namespace netcache;
@@ -46,6 +47,8 @@ struct Options {
   bool ring_only_reads = false;
   bool report = false;
   int jobs = 0;  // 0 = sweep::default_jobs()
+  std::string cache_dir;
+  bool no_cache = false;
   bool verify = false;
   std::string faults;
   bool fault_seed_set = false;
@@ -78,6 +81,10 @@ void usage() {
       "  --report           print the full per-node report (single cell)\n"
       "  --jobs=N           sweep worker threads for multi-cell runs\n"
       "                     (default: NETCACHE_BENCH_JOBS or hardware)\n"
+      "  --cache=DIR        persistent sweep result cache: unchanged cells\n"
+      "                     are served bit-identically from DIR instead of\n"
+      "                     re-simulated (also: NETCACHE_SWEEP_CACHE)\n"
+      "  --no-cache         ignore --cache and NETCACHE_SWEEP_CACHE\n"
       "  --verify           runtime coherence oracle: shadow-memory model\n"
       "                     checking every cached read against the latest\n"
       "                     committed store (also: NETCACHE_VERIFY=1)\n"
@@ -129,6 +136,8 @@ bool parse(int argc, char** argv, Options* opt) {
     if (std::strcmp(a, "--prefetch") == 0) { opt->prefetch = true; continue; }
     if (std::strcmp(a, "--ring-only-reads") == 0) { opt->ring_only_reads = true; continue; }
     if (std::strcmp(a, "--report") == 0) { opt->report = true; continue; }
+    if (std::strcmp(a, "--no-cache") == 0) { opt->no_cache = true; continue; }
+    if (parse_flag(a, "--cache", &v)) { opt->cache_dir = v; continue; }
     if (std::strcmp(a, "--verify") == 0) { opt->verify = true; continue; }
     if (std::strcmp(a, "--no-fault-recovery") == 0) { opt->fault_recovery = false; continue; }
     if (parse_flag(a, "--faults", &v)) { opt->faults = v; continue; }
@@ -242,20 +251,40 @@ std::unique_ptr<apps::Workload> build_workload(const Options& opt,
 // The original single-machine path: build, run, print (optionally the full
 // per-node report, which needs the live machine's stats).
 int run_single(const Options& opt, const std::string& app, SystemKind kind) {
-  MachineConfig config;
-  config.system = kind;
-  apply_knobs(opt, &config);
-
-  core::Machine machine(config);
-  auto workload = build_workload(opt, app);
-  auto summary = machine.run(*workload);
   if (opt.report) {
+    // The per-node report reads the live machine's stats, which the result
+    // cache does not (and should not) memoize: always simulate.
+    MachineConfig config;
+    config.system = kind;
+    apply_knobs(opt, &config);
+    core::Machine machine(config);
+    auto workload = build_workload(opt, app);
+    auto summary = machine.run(*workload);
     std::printf("%s", core::detailed_report(config, machine.stats(),
                                             summary).c_str());
-  } else {
-    std::printf("%s\n", core::format_summary(summary).c_str());
+    return summary.verified ? 0 : 1;
   }
-  return summary.verified ? 0 : 1;
+  // Summary-only single cell: go through run_cell so the result cache (if
+  // configured) can serve or memoize it like any sweep cell.
+  sweep::Cell cell;
+  cell.app = app;
+  cell.system = kind;
+  cell.nodes = opt.nodes;
+  cell.scale = opt.scale;
+  cell.paper_size = opt.paper_size;
+  cell.tweak = [opt](MachineConfig& config) { apply_knobs(opt, &config); };
+  if (!opt.trace_path.empty() || !opt.synthetic.empty()) {
+    Options o = opt;
+    cell.make_workload = [o, app] { return build_workload(o, app); };
+  }
+  sweep::CellResult r = sweep::run_cell(cell);
+  if (!r.ok) {
+    std::fprintf(stderr, "%s: FAILED: %s\n", cell.label().c_str(),
+                 r.error.c_str());
+    return 1;
+  }
+  std::printf("%s\n", core::format_summary(r.summary).c_str());
+  return r.summary.verified ? 0 : 1;
 }
 
 // Multi-cell path: every (app, system) pair becomes one sweep cell; results
@@ -303,6 +332,14 @@ int main(int argc, char** argv) try {
   if (!parse(argc, argv, &opt)) {
     usage();
     return 1;
+  }
+
+  // --no-cache beats --cache beats the NETCACHE_SWEEP_CACHE environment
+  // variable (which shared_cache() reads lazily when neither flag is given).
+  if (opt.no_cache) {
+    sweep::disable_shared_cache();
+  } else if (!opt.cache_dir.empty()) {
+    sweep::configure_shared_cache(opt.cache_dir);
   }
 
   std::vector<std::string> app_names =

@@ -26,6 +26,17 @@ class LatencyHistogram {
   std::uint64_t count_in(int bucket) const {
     return counts_[static_cast<std::size_t>(bucket)];
   }
+  std::uint64_t sum_cycles() const { return sum_; }
+
+  /// Rebuilds the histogram from previously serialized raw state (the sweep
+  /// result cache round-trips summaries through disk). The caller is trusted
+  /// to pass counts consistent with `total`.
+  void restore(const std::array<std::uint64_t, kBuckets>& counts,
+               std::uint64_t total, std::uint64_t sum) {
+    counts_ = counts;
+    total_ = total;
+    sum_ = sum;
+  }
 
   double mean() const {
     return total_ == 0 ? 0.0

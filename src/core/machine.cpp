@@ -138,6 +138,7 @@ RunSummary Machine::run(apps::Workload& workload,
   s.events = engine_.events_executed();
   s.wheel_pushes = engine_.queue_stats().wheel_pushes;
   s.overflow_pushes = engine_.queue_stats().overflow_pushes;
+  s.wheel_regrows = engine_.queue_stats().wheel_regrows;
   s.wall_seconds = wall_seconds;
   s.verify_enabled = config_.verify;
   if (oracle_ != nullptr) s.oracle = oracle_->stats();

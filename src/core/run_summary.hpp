@@ -43,9 +43,11 @@ struct RunSummary {
 
   // Timing-wheel occupancy for this run (deterministic, like events): how
   // many scheduled events landed in an O(1) wheel bucket vs the far-future
-  // overflow heap. Overflow traffic is the signal for re-sizing the wheel.
+  // overflow heap. Overflow traffic is the signal for re-sizing the wheel;
+  // wheel_regrows counts the one-shot 2x auto-resize firing mid-run.
   std::uint64_t wheel_pushes = 0;
   std::uint64_t overflow_pushes = 0;
+  std::uint64_t wheel_regrows = 0;
 
   // Engine throughput (wall-clock observability; not part of the simulated
   // results, so determinism comparisons should ignore these).
@@ -65,5 +67,16 @@ std::string format_summary(const RunSummary& s);
 /// wall-clock seconds, events/sec and simulated cycles/sec. Kept separate
 /// from format_summary so bit-identical output comparisons can filter it.
 std::string format_throughput(const RunSummary& s);
+
+/// Serializes every field of `s` (including the read-latency histogram and
+/// the oracle/fault counters) to a line-oriented text record. Doubles are
+/// written as C99 hex-floats, so deserialize_summary() reproduces the
+/// summary bit for bit — the contract the sweep result cache depends on.
+std::string serialize_summary(const RunSummary& s);
+
+/// Inverse of serialize_summary(). Returns false (leaving `out` in an
+/// unspecified state) on any malformed, truncated, or version-mismatched
+/// input; the result cache treats that as a miss, never an error.
+bool deserialize_summary(const std::string& text, RunSummary* out);
 
 }  // namespace netcache::core

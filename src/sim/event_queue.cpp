@@ -9,8 +9,6 @@ namespace netcache::sim {
 
 namespace {
 
-constexpr std::size_t kMask = EventQueue::kWheelSize - 1;
-
 /// Heap comparator: true when `a` fires after `b` (min-heap on (time, seq)).
 struct Later {
   bool operator()(const Event& a, const Event& b) const {
@@ -22,7 +20,7 @@ struct Later {
 }  // namespace
 
 EventQueue::EventQueue()
-    : wheel_(kWheelSize), heads_(kWheelSize, 0) {}
+    : wheel_(kWheelSize), heads_(kWheelSize, 0), occupied_(kWheelSize / 64, 0) {}
 
 void EventQueue::insert(Event&& e) {
   if (size_ == 0) {
@@ -37,8 +35,8 @@ void EventQueue::insert(Event&& e) {
 
 void EventQueue::place(Event&& e, bool account) {
   NC_ASSERT(e.time >= cursor_, "event below cursor");
-  if (e.time - cursor_ < static_cast<Cycles>(kWheelSize)) {
-    std::size_t idx = static_cast<std::size_t>(e.time) & kMask;
+  if (e.time - cursor_ < static_cast<Cycles>(wheel_size_)) {
+    std::size_t idx = static_cast<std::size_t>(e.time) & wheel_mask_;
     wheel_[idx].push_back(std::move(e));
     occupied_[idx >> 6] |= std::uint64_t{1} << (idx & 63);
     if (account) ++stats_.wheel_pushes;
@@ -49,6 +47,7 @@ void EventQueue::place(Event&& e, bool account) {
       ++stats_.overflow_pushes;
       stats_.max_overflow_size =
           std::max<std::uint64_t>(stats_.max_overflow_size, overflow_.size());
+      maybe_regrow();
     }
   }
 }
@@ -62,8 +61,8 @@ void EventQueue::push_resume_batch(Cycles time,
   } else if (time < cursor_) {
     rebuild(time);
   }
-  if (time - cursor_ < static_cast<Cycles>(kWheelSize)) {
-    std::size_t idx = static_cast<std::size_t>(time) & kMask;
+  if (time - cursor_ < static_cast<Cycles>(wheel_size_)) {
+    std::size_t idx = static_cast<std::size_t>(time) & wheel_mask_;
     auto& bucket = wheel_[idx];
     bucket.reserve(bucket.size() + n);
     for (std::size_t i = 0; i < n; ++i) {
@@ -79,6 +78,7 @@ void EventQueue::push_resume_batch(Cycles time,
     stats_.overflow_pushes += n;
     stats_.max_overflow_size =
         std::max<std::uint64_t>(stats_.max_overflow_size, overflow_.size());
+    maybe_regrow();
   }
   size_ += n;
 }
@@ -86,7 +86,7 @@ void EventQueue::push_resume_batch(Cycles time,
 void EventQueue::rebuild(Cycles new_cursor) {
   std::vector<Event> pending;
   pending.reserve(size_ - overflow_.size());
-  for (std::size_t w = 0; w < kWheelSize / 64; ++w) {
+  for (std::size_t w = 0; w < occupied_.size(); ++w) {
     std::uint64_t bits = occupied_[w];
     while (bits) {
       std::size_t idx = (w << 6) + static_cast<std::size_t>(
@@ -108,21 +108,65 @@ void EventQueue::rebuild(Cycles new_cursor) {
   ++stats_.rebuilds;
 }
 
+void EventQueue::maybe_regrow() {
+  if (regrown_) return;
+  if (stats_.wheel_pushes + stats_.overflow_pushes < kRegrowMinPushes) return;
+  if (stats_.overflow_fraction() <= kRegrowOverflowFraction) return;
+
+  // Gather every pending event — wheel buckets plus overflow heap — into one
+  // (time, seq)-sorted list, then re-place against the doubled horizon. The
+  // sort restores global insertion order so same-time events from the two
+  // structures interleave into bucket FIFOs exactly as a fresh queue would
+  // hold them: fire order is unchanged by the regrow.
+  std::vector<Event> pending;
+  pending.reserve(size_ + 1);
+  for (std::size_t w = 0; w < occupied_.size(); ++w) {
+    std::uint64_t bits = occupied_[w];
+    while (bits) {
+      std::size_t idx = (w << 6) + static_cast<std::size_t>(
+                                       std::countr_zero(bits));
+      bits &= bits - 1;
+      auto& bucket = wheel_[idx];
+      for (std::size_t i = heads_[idx]; i < bucket.size(); ++i) {
+        pending.push_back(std::move(bucket[i]));
+      }
+    }
+  }
+  for (auto& e : overflow_) pending.push_back(std::move(e));
+  overflow_.clear();
+  std::sort(pending.begin(), pending.end(), [](const Event& a, const Event& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  });
+
+  wheel_size_ *= 2;
+  wheel_mask_ = wheel_size_ - 1;
+  wheel_.clear();
+  wheel_.resize(wheel_size_);
+  heads_.assign(wheel_size_, 0);
+  occupied_.assign(wheel_size_ / 64, 0);
+  regrown_ = true;
+
+  for (auto& e : pending) place(std::move(e), /*account=*/false);
+  ++stats_.wheel_regrows;
+}
+
 Cycles EventQueue::wheel_next_time() const {
-  std::size_t start = static_cast<std::size_t>(cursor_) & kMask;
+  const std::size_t words = occupied_.size();
+  std::size_t start = static_cast<std::size_t>(cursor_) & wheel_mask_;
   std::size_t w0 = start >> 6;
   // First word: only bits at/after the cursor's slot belong to this lap.
   std::uint64_t first = occupied_[w0] & (~std::uint64_t{0} << (start & 63));
-  for (std::size_t step = 0; step <= kWheelSize / 64; ++step) {
-    std::size_t w = (w0 + step) & ((kWheelSize / 64) - 1);
+  for (std::size_t step = 0; step <= words; ++step) {
+    std::size_t w = (w0 + step) & (words - 1);
     std::uint64_t bits = (step == 0) ? first
-                         : (step == kWheelSize / 64)
+                         : (step == words)
                              ? occupied_[w] & ~(~std::uint64_t{0} << (start & 63))
                              : occupied_[w];
     if (bits) {
       std::size_t idx = (w << 6) +
                         static_cast<std::size_t>(std::countr_zero(bits));
-      return cursor_ + static_cast<Cycles>((idx - start) & kMask);
+      return cursor_ + static_cast<Cycles>((idx - start) & wheel_mask_);
     }
   }
   return -1;
@@ -148,13 +192,13 @@ Event EventQueue::pop() {
     from_wheel = false;
   } else {
     // Same instant in both structures: the smaller insertion seq fires first.
-    std::size_t idx = static_cast<std::size_t>(tw) & kMask;
+    std::size_t idx = static_cast<std::size_t>(tw) & wheel_mask_;
     from_wheel = wheel_[idx][heads_[idx]].seq < overflow_.front().seq;
   }
 
   Event e;
   if (from_wheel) {
-    std::size_t idx = static_cast<std::size_t>(tw) & kMask;
+    std::size_t idx = static_cast<std::size_t>(tw) & wheel_mask_;
     auto& bucket = wheel_[idx];
     e = std::move(bucket[heads_[idx]++]);
     if (heads_[idx] == bucket.size()) {

@@ -174,6 +174,9 @@ struct EventQueueStats {
   /// Full re-bucketings triggered by below-cursor pushes (engine never does
   /// this; nonzero only in direct queue tests).
   std::uint64_t rebuilds = 0;
+  /// One-shot auto-sizing: 1 once overflow traffic crossed the regrow
+  /// threshold and the wheel was rebuilt at twice its size, else 0.
+  std::uint64_t wheel_regrows = 0;
   /// High-water mark of the overflow heap.
   std::uint64_t max_overflow_size = 0;
 
@@ -193,11 +196,20 @@ class EventQueue {
   EventQueue(const EventQueue&) = delete;
   EventQueue& operator=(const EventQueue&) = delete;
 
-  /// Near-future horizon: events within [cursor, cursor + kWheelSize) live in
-  /// O(1) ring buckets; anything further sits in the overflow heap until the
-  /// cursor approaches.
+  /// Near-future horizon: events within [cursor, cursor + wheel_size()) live
+  /// in O(1) ring buckets; anything further sits in the overflow heap until
+  /// the cursor approaches. kWheelSize is the initial size; a workload whose
+  /// overflow traffic crosses the regrow threshold gets one rebuild at
+  /// double the horizon (see wheel_regrows in stats()).
   static constexpr std::size_t kWheelBits = 12;
   static constexpr std::size_t kWheelSize = std::size_t{1} << kWheelBits;
+
+  /// Auto-sizing guard: once at least kRegrowMinPushes events have been
+  /// pushed, an overflow fraction above kRegrowOverflowFraction triggers the
+  /// one-shot 2x regrow. Checked on overflow pushes only, so the fast wheel
+  /// path pays nothing.
+  static constexpr std::uint64_t kRegrowMinPushes = 8192;
+  static constexpr double kRegrowOverflowFraction = 0.10;
 
   template <typename F>
   void push(Cycles time, F&& action, std::uint16_t tag = 0) {
@@ -231,6 +243,9 @@ class EventQueue {
   /// Wheel/overflow occupancy counters since construction.
   const EventQueueStats& stats() const { return stats_; }
 
+  /// Current wheel horizon (kWheelSize until a regrow fires, then 2x).
+  std::size_t wheel_size() const { return wheel_size_; }
+
  private:
   void insert(Event&& e);
   void place(Event&& e, bool account = true);
@@ -238,12 +253,19 @@ class EventQueue {
   /// by pushing a time below the cursor, which the engine never does (its
   /// clock is monotone); unit tests may.
   void rebuild(Cycles new_cursor);
+  /// One-shot auto-sizing: doubles the wheel and re-buckets every pending
+  /// event (preserving (time, seq) fire order) once overflow traffic shows
+  /// the horizon is too short for this workload.
+  void maybe_regrow();
   /// Earliest occupied wheel slot time, or -1 if the wheel is empty.
   Cycles wheel_next_time() const;
 
-  std::vector<std::vector<Event>> wheel_;  // kWheelSize FIFO buckets
+  std::vector<std::vector<Event>> wheel_;  // wheel_size_ FIFO buckets
   std::vector<std::uint32_t> heads_;       // consumed prefix per bucket
-  std::uint64_t occupied_[kWheelSize / 64] = {};
+  std::vector<std::uint64_t> occupied_;    // wheel_size_ / 64 bitmap words
+  std::size_t wheel_size_ = kWheelSize;    // always a power of two
+  std::size_t wheel_mask_ = kWheelSize - 1;
+  bool regrown_ = false;
   std::vector<Event> overflow_;  // min-heap by (time, seq)
   Cycles cursor_ = 0;            // all pending events have time >= cursor_
   std::size_t size_ = 0;

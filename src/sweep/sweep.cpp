@@ -9,6 +9,7 @@
 #include "src/apps/workload.hpp"
 #include "src/common/nc_assert.hpp"
 #include "src/core/machine.hpp"
+#include "src/sweep/result_cache.hpp"
 
 namespace netcache::sweep {
 
@@ -20,7 +21,16 @@ std::string Cell::label() const {
 }
 
 CellResult run_cell(const Cell& cell) {
+  return run_cell(cell, shared_cache());
+}
+
+CellResult run_cell(const Cell& cell, ResultCache* cache) {
   CellResult r;
+  if (cache != nullptr && cache->lookup(cell, &r.summary)) {
+    r.ok = true;
+    r.from_cache = true;
+    return r;
+  }
   try {
     MachineConfig cfg;
     cfg.nodes = cell.nodes;
@@ -41,6 +51,11 @@ CellResult run_cell(const Cell& cell) {
   } catch (const std::exception& e) {
     r.ok = false;
     r.error = e.what();
+  }
+  // Only completed, functionally verified runs are worth memoizing; a failed
+  // or unverified cell must be re-simulated (and re-diagnosed) every time.
+  if (r.ok && r.summary.verified && cache != nullptr) {
+    cache->store(cell, r.summary);
   }
   return r;
 }
@@ -138,6 +153,12 @@ std::size_t SweepDriver::submit(Cell cell) {
   NC_ASSERT(!ran_, "SweepDriver::submit after run");
   cells_.push_back(std::move(cell));
   return cells_.size() - 1;
+}
+
+std::size_t SweepDriver::cache_hits() const {
+  std::size_t hits = 0;
+  for (const auto& r : results_) hits += r.from_cache ? 1 : 0;
+  return hits;
 }
 
 const std::vector<CellResult>& SweepDriver::run() {

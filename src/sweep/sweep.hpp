@@ -59,12 +59,23 @@ struct Cell {
 struct CellResult {
   core::RunSummary summary;
   bool ok = false;
+  /// True when `summary` was served from the result cache (bit-identical to
+  /// the run it memoizes) instead of being simulated in this process.
+  bool from_cache = false;
   std::string error;
 };
 
+class ResultCache;
+
 /// Builds the machine and workload for `cell` and runs it to completion on
 /// the calling thread. Never throws: failures are captured in the result.
+/// Consults the process-wide result cache (shared_cache(), configured via
+/// --cache / NETCACHE_SWEEP_CACHE): a hit skips the simulation entirely, a
+/// verified miss populates the cache on completion.
 CellResult run_cell(const Cell& cell);
+
+/// Same, against an explicit cache (null = always simulate, never store).
+CellResult run_cell(const Cell& cell, ResultCache* cache);
 
 /// Worker count used when the caller passes jobs <= 0: the
 /// NETCACHE_BENCH_JOBS environment variable if set to a positive integer,
@@ -93,6 +104,10 @@ class SweepDriver {
 
   /// Runs every submitted cell; call once, after all submissions.
   const std::vector<CellResult>& run();
+
+  /// Number of results served from the result cache instead of simulated
+  /// (valid after run(); 0 when caching is off).
+  std::size_t cache_hits() const;
 
   /// Valid after run().
   const std::vector<CellResult>& results() const { return results_; }

@@ -182,6 +182,46 @@ TEST(EventQueue, ManyEventsRandomTimesMatchReferenceOrder) {
   EXPECT_EQ(fired, ref);
 }
 
+TEST(EventQueue, RegrowsOnceUnderFarFutureHeavyLoad) {
+  // A workload whose delays routinely exceed the wheel horizon must trigger
+  // the one-shot 2x regrow — and the regrow must not change fire order.
+  EventQueue q;
+  std::vector<std::pair<Cycles, int>> ref;
+  std::vector<std::pair<Cycles, int>> fired;
+  std::uint64_t rng = 0x853c49e6748fea9bull;
+  const int n = 3 * static_cast<int>(EventQueue::kRegrowMinPushes) / 2;
+  for (int i = 0; i < n; ++i) {
+    rng ^= rng << 13;
+    rng ^= rng >> 7;
+    rng ^= rng << 17;
+    // ~1/3 of events land past the horizon: far over the 10% regrow
+    // threshold once enough pushes have accumulated.
+    Cycles t = (i % 3 == 0)
+                   ? kWheel + static_cast<Cycles>(rng % static_cast<std::uint64_t>(kWheel))
+                   : static_cast<Cycles>(rng % static_cast<std::uint64_t>(kWheel));
+    ref.emplace_back(t, i);
+    q.push(t, [&fired, t, i] { fired.emplace_back(t, i); });
+  }
+  EXPECT_EQ(q.stats().wheel_regrows, 1u);
+  EXPECT_EQ(q.wheel_size(), 2 * EventQueue::kWheelSize);
+  std::stable_sort(ref.begin(), ref.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  while (!q.empty()) q.pop().fire();
+  EXPECT_EQ(fired, ref);
+}
+
+TEST(EventQueue, NoRegrowForNearFutureWorkloads) {
+  // Plenty of pushes but almost no overflow traffic: the wheel keeps its
+  // initial size (the regrow guard never trips on healthy workloads).
+  EventQueue q;
+  for (std::uint64_t i = 0; i < 2 * EventQueue::kRegrowMinPushes; ++i) {
+    q.push(static_cast<Cycles>(i % 100), [] {});
+  }
+  EXPECT_EQ(q.stats().wheel_regrows, 0u);
+  EXPECT_EQ(q.wheel_size(), EventQueue::kWheelSize);
+  while (!q.empty()) q.pop().fire();
+}
+
 TEST(EventQueue, InlineCallbackDestroyedWithoutFiring) {
   // Dropping a queue with pending callback events must destroy the inline
   // callables exactly once (checked via a ref-counting capture).

@@ -163,6 +163,55 @@ TEST(Sweep, DefaultJobsHonorsEnvironment) {
   EXPECT_GE(sweep::default_jobs(), 1);
 }
 
+// Regression guard for the table-folding pattern every bench binary uses:
+// results must stay keyed to their submission indices when a cell in the
+// middle of the grid fails, so a folded table can never attribute one cell's
+// numbers to another's row. (The failure mode would be an off-by-one walk of
+// results[] that skips the failed slot instead of indexing it.)
+TEST(Sweep, TableFoldingKeysResultsBySubmissionIndexAcrossFailures) {
+  sweep::SweepDriver driver(2);
+  std::vector<std::size_t> good;
+  std::vector<Cycles> mems = {44, 76, 108};
+  for (std::size_t i = 0; i < mems.size(); ++i) {
+    sweep::Cell cell;
+    cell.app = "sor";
+    cell.nodes = 4;
+    cell.scale = 0.15;
+    const Cycles mem = mems[i];
+    cell.tweak = [mem](MachineConfig& cfg) {
+      cfg.mem_block_read_cycles = mem;
+    };
+    good.push_back(driver.submit(std::move(cell)));
+    if (i == 0) {
+      sweep::Cell bad;
+      bad.app = "deadlock";
+      bad.nodes = 4;
+      bad.make_workload = [] { return std::make_unique<DeadlockWorkload>(); };
+      driver.submit(std::move(bad));
+    }
+  }
+  const auto& results = driver.run();
+
+  bench::Table table("fold", {"run_time"});
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (!results[i].ok) continue;
+    table.set("cell" + std::to_string(i), "run_time",
+              static_cast<double>(results[i].summary.run_time));
+  }
+  // Slower memory must mean a slower run, in submission order: if the failed
+  // slot shifted later results down an index, this monotonicity breaks.
+  ASSERT_EQ(good.size(), 3u);
+  Cycles prev = 0;
+  for (std::size_t idx : good) {
+    ASSERT_TRUE(results[idx].ok) << results[idx].error;
+    EXPECT_GT(results[idx].summary.run_time, prev);
+    prev = results[idx].summary.run_time;
+  }
+  const std::string csv = table.to_csv();
+  EXPECT_EQ(static_cast<int>(std::count(csv.begin(), csv.end(), '\n')), 4);
+  EXPECT_EQ(csv.find("deadlock"), std::string::npos);
+}
+
 // Sweep workers fold results into shared tables directly; set() must be safe
 // under real concurrency. Run under TSan in CI, this is a data-race trap.
 TEST(Sweep, TableSetIsThreadSafe) {
