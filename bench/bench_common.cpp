@@ -36,7 +36,8 @@ std::vector<std::function<void()>>& planners() {
 // CellRef::summary() reads it. Null until bench_main builds it.
 sweep::SweepDriver* g_driver = nullptr;
 
-int g_jobs = 0;  // 0 = resolve via sweep::default_jobs()
+int g_jobs = 0;        // 0 = resolve via sweep::default_jobs()
+int g_intra_jobs = -1;  // -1 = resolve via sweep::default_intra_jobs()
 
 sweep::Cell to_cell(const std::string& app, SystemKind system,
                     const SimOptions& opts) {
@@ -177,6 +178,10 @@ void Table::write_csv_to(const std::string& dir) const {
 
 int bench_jobs() { return g_jobs > 0 ? g_jobs : sweep::default_jobs(); }
 
+int bench_intra_jobs() {
+  return g_intra_jobs >= 0 ? g_intra_jobs : sweep::default_intra_jobs();
+}
+
 int bench_main(int argc, char** argv,
                const std::vector<const Table*>& tables) {
   // Strip our own flags before google-benchmark sees (and rejects) them.
@@ -193,6 +198,16 @@ int bench_main(int argc, char** argv,
         return 1;
       }
       g_jobs = static_cast<int>(n);
+      continue;
+    }
+    if (std::strncmp(a, "--intra-jobs=", 13) == 0) {
+      char* end = nullptr;
+      long n = std::strtol(a + 13, &end, 10);
+      if (end == a + 13 || *end != '\0' || n < 1 || n > 1024) {
+        std::fprintf(stderr, "bad --intra-jobs value '%s'\n", a + 13);
+        return 1;
+      }
+      g_intra_jobs = static_cast<int>(n);
       continue;
     }
     if (std::strncmp(a, "--cache=", 8) == 0) {
@@ -224,6 +239,7 @@ int bench_main(int argc, char** argv,
   // Fan the declared grid out across the pool before the benchmark bodies
   // (which consume the finished summaries) run.
   sweep::SweepDriver driver(bench_jobs());
+  driver.set_intra_jobs(bench_intra_jobs());
   g_driver = &driver;
   for (const auto& plan : planners()) plan();
   if (driver.size() > 0) {
@@ -248,8 +264,11 @@ int bench_main(int argc, char** argv,
       }
     }
     if (failed) return 1;
-    std::printf("sweep: %zu cells on %d worker(s) in %.2f s\n", driver.size(),
-                driver.jobs(), secs);
+    const int intra = sweep::compose_intra_jobs(driver.jobs(),
+                                                driver.intra_jobs());
+    std::printf(
+        "sweep: %zu cells on %d worker(s) x %d intra-thread(s) in %.2f s\n",
+        driver.size(), driver.jobs(), intra, secs);
     if (const sweep::ResultCache* cache = sweep::shared_cache()) {
       sweep::CacheStats cs = cache->stats();
       std::printf("cache: %llu hit(s), %llu miss(es), %llu store(s), "

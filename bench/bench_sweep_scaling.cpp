@@ -8,6 +8,12 @@
 // NETCACHE_SWEEP_SCALE (default 1.0) scales the workloads so CI-class and
 // laptop-class hosts can both record a tractable number.
 //
+// A second section measures intra-cell conservative-PDES scaling: one cell
+// re-run at --intra-jobs 1/2/4/8, with a byte-identity check of the full
+// serialized RunSummary (wall_seconds zeroed) against the serial run. The
+// identity check runs even on 1-thread hosts; only the timing points are
+// skipped there (same note discipline as the worker section).
+//
 //   ./bench_sweep_scaling [--scale=X] [--jobs=1,4,8,16]
 #include <chrono>
 #include <cstdio>
@@ -18,6 +24,7 @@
 #include <vector>
 
 #include "bench/bench_common.hpp"
+#include "src/core/run_summary.hpp"
 #include "src/sweep/result_cache.hpp"
 
 using namespace netcache;
@@ -84,6 +91,39 @@ bool same_results(const std::vector<core::RunSummary>& a,
     }
   }
   return true;
+}
+
+struct IntraPoint {
+  int threads = 0;
+  double seconds = 0.0;
+  bool identical = true;
+  bool timed = true;  // false: 1-thread host, wall-clock not meaningful
+};
+
+/// Full-fidelity identity: the entire serialized summary, wall-clock zeroed
+/// (host observability, not a simulated result).
+std::string canonical_summary(core::RunSummary s) {
+  s.wall_seconds = 0.0;
+  return core::serialize_summary(s);
+}
+
+double run_intra_cell(const sweep::Cell& cell, int threads,
+                      std::string* canonical) {
+  sweep::Cell c = cell;
+  c.intra_jobs = threads;
+  auto t0 = std::chrono::steady_clock::now();
+  sweep::CellResult r = sweep::run_cell(c, /*cache=*/nullptr);
+  double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  if (!r.ok || !r.summary.verified) {
+    std::fprintf(stderr, "FATAL: intra cell %s (threads=%d) %s\n",
+                 c.label().c_str(), threads,
+                 r.ok ? "failed verification" : r.error.c_str());
+    std::exit(1);
+  }
+  *canonical = canonical_summary(r.summary);
+  return secs;
 }
 
 }  // namespace
@@ -158,6 +198,50 @@ int main(int argc, char** argv) {
                                 : "RESULTS DIVERGED");
   }
 
+  // --- Intra-cell conservative-PDES scaling: one cell, 1/2/4/8 threads. ---
+  // gauss has the longest TDMA frames of the Table 4 apps — the heaviest
+  // single cell in the grid, the one intra-jobs exists to speed up.
+  sweep::Cell intra_cell;
+  intra_cell.app = "gauss";
+  intra_cell.system = SystemKind::kNetCache;
+  intra_cell.scale = scale;
+  std::printf("intra-jobs scaling: one %s cell\n",
+              intra_cell.label().c_str());
+  const bool skipped_multi_thread = hw <= 1;
+  if (skipped_multi_thread) {
+    std::printf("  (1 hardware thread: multi-thread points are identity "
+                "checks only, not timed)\n");
+  }
+  std::string serial_canonical;
+  std::vector<IntraPoint> intra_points;
+  double intra_serial = 0.0;
+  bool intra_identical = true;
+  for (int threads : {1, 2, 4, 8}) {
+    IntraPoint p;
+    p.threads = threads;
+    p.timed = threads == 1 || !skipped_multi_thread;
+    std::string canonical;
+    p.seconds = run_intra_cell(intra_cell, threads, &canonical);
+    if (threads == 1) {
+      intra_serial = p.seconds;
+      serial_canonical = canonical;
+    } else {
+      p.identical = canonical == serial_canonical;
+      intra_identical &= p.identical;
+    }
+    intra_points.push_back(p);
+    if (p.timed) {
+      std::printf("  intra-jobs=%-3d %8.2f s  speedup %.2fx  %s\n", threads,
+                  p.seconds, intra_serial > 0 ? intra_serial / p.seconds : 0.0,
+                  p.identical ? "byte-identical to serial"
+                              : "RESULTS DIVERGED");
+    } else {
+      std::printf("  intra-jobs=%-3d (not timed)  %s\n", threads,
+                  p.identical ? "byte-identical to serial"
+                              : "RESULTS DIVERGED");
+    }
+  }
+
   const char* path = std::getenv("NETCACHE_BENCH_SWEEP_JSON");
   if (!path) path = "BENCH_sweep.json";
   std::FILE* f = std::fopen(path, "w");
@@ -191,10 +275,36 @@ int main(int argc, char** argv) {
                  points[i].deterministic ? "true" : "false",
                  i + 1 < points.size() ? "," : "");
   }
-  std::fprintf(f, "  ]\n}\n");
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"intra_jobs\": {\n");
+  std::fprintf(f, "    \"cell\": \"%s\",\n", intra_cell.label().c_str());
+  std::fprintf(f, "    \"skipped_multi_thread_timing\": %s,\n",
+               skipped_multi_thread ? "true" : "false");
+  std::fprintf(f,
+               "    \"notes\": \"one conservative-PDES simulation "
+               "(src/sim/partition.hpp) re-run at 1/2/4/8 intra threads. "
+               "identical=true means the full serialized RunSummary "
+               "(wall_seconds zeroed) is byte-identical to the serial run; "
+               "this check runs on every host. timed=false marks points on "
+               "1-thread hosts whose wall-clock is scheduler noise, not "
+               "speedup.\",\n");
+  std::fprintf(f, "    \"points\": [\n");
+  for (std::size_t i = 0; i < intra_points.size(); ++i) {
+    const IntraPoint& p = intra_points[i];
+    std::fprintf(f,
+                 "      {\"threads\": %d, \"seconds\": %.3f, "
+                 "\"speedup\": %.3f, \"identical\": %s, \"timed\": "
+                 "%s}%s\n",
+                 p.threads, p.seconds,
+                 p.timed && p.seconds > 0 ? intra_serial / p.seconds : 0.0,
+                 p.identical ? "true" : "false", p.timed ? "true" : "false",
+                 i + 1 < intra_points.size() ? "," : "");
+  }
+  std::fprintf(f, "    ]\n  }\n");
+  std::fprintf(f, "}\n");
   std::fclose(f);
   std::printf("wrote %s\n", path);
-  bool all_deterministic = true;
+  bool all_deterministic = intra_identical;
   for (const auto& p : points) all_deterministic &= p.deterministic;
   return all_deterministic ? 0 : 1;
 }

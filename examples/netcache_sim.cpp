@@ -46,7 +46,8 @@ struct Options {
   bool prefetch = false;
   bool ring_only_reads = false;
   bool report = false;
-  int jobs = 0;  // 0 = sweep::default_jobs()
+  int jobs = 0;        // 0 = sweep::default_jobs()
+  int intra_jobs = 0;  // 0 = config / NETCACHE_INTRA_JOBS default
   std::string cache_dir;
   bool no_cache = false;
   bool verify = false;
@@ -80,6 +81,8 @@ void usage() {
       "  --ring-only-reads  disable the parallel star-path read start\n"
       "  --report           print the full per-node report (single cell)\n"
       "  --jobs=N           sweep worker threads for multi-cell runs\n"
+      "  --intra-jobs=T     conservative-PDES threads inside each cell's\n"
+      "                     simulation; results are bit-identical at any T\n"
       "                     (default: NETCACHE_BENCH_JOBS or hardware)\n"
       "  --cache=DIR        persistent sweep result cache: unchanged cells\n"
       "                     are served bit-identically from DIR instead of\n"
@@ -157,6 +160,7 @@ bool parse(int argc, char** argv, Options* opt) {
     if (parse_flag(a, "--gbps", &v)) { opt->gbps = parse_double("gbps", v); continue; }
     if (parse_flag(a, "--mem", &v)) { opt->mem = parse_int("mem", v); continue; }
     if (parse_flag(a, "--jobs", &v)) { opt->jobs = static_cast<int>(parse_int("jobs", v)); continue; }
+    if (parse_flag(a, "--intra-jobs", &v)) { opt->intra_jobs = static_cast<int>(parse_int("intra-jobs", v)); continue; }
     if (parse_flag(a, "--policy", &v)) {
       if (v == "random") opt->policy = RingReplacement::kRandom;
       else if (v == "lfu") opt->policy = RingReplacement::kLfu;
@@ -227,6 +231,7 @@ void apply_knobs(const Options& opt, MachineConfig* config) {
   config->sequential_prefetch = opt.prefetch;
   config->reads_start_on_star = !opt.ring_only_reads;
   config->verify = config->verify || opt.verify;
+  if (opt.intra_jobs > 0) config->intra_jobs = opt.intra_jobs;
   config->faults.spec = opt.faults;
   if (opt.fault_seed_set) config->faults.seed = opt.fault_seed;
   config->faults.recovery = opt.fault_recovery;

@@ -122,6 +122,16 @@ struct MachineConfig {
 
   std::uint64_t seed = 0x9E3779B97F4A7C15ull;
 
+  /// Conservative-PDES threads inside one simulation (--intra-jobs): nodes
+  /// are split into this many partitions, each with its own timing wheel,
+  /// synchronized by LBTS windows (src/sim/partition.hpp). 1 = the serial
+  /// engine. Results are bit-identical at any value (enforced by tests), so
+  /// this is an execution knob, not a machine parameter — the result cache
+  /// deliberately excludes it from its key. Also settable via the
+  /// NETCACHE_INTRA_JOBS environment variable (read at Machine construction
+  /// when this is left at 1). Clamped to the node count at run time.
+  int intra_jobs = 1;
+
   /// Runtime coherence oracle (src/verify/): shadow-memory model checking
   /// every cached hit against the per-block commit history plus the protocol
   /// invariants at transition points. Also enabled by NETCACHE_VERIFY=1 in

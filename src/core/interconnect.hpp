@@ -51,6 +51,13 @@ class Interconnect {
     (void)state;
   }
 
+  /// Conservative PDES lookahead: a lower bound, in cycles, on the latency
+  /// between any event on one node and its earliest observable effect on
+  /// another node (the cheapest cross-node message this stack can form).
+  /// Used to derive the partitioned engine's LBTS windows; must be positive
+  /// (validated by sim::validated_lookahead at Machine::run).
+  virtual Cycles lookahead() const = 0;
+
   virtual const char* name() const = 0;
 };
 

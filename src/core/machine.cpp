@@ -1,5 +1,6 @@
 #include "src/core/machine.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
 
@@ -49,6 +50,18 @@ Machine::Machine(const MachineConfig& config)
     if (env != nullptr && env[0] != '\0' &&
         !(env[0] == '0' && env[1] == '\0')) {
       config_.verify = true;
+    }
+  }
+  if (config_.intra_jobs <= 1) {
+    // Same environment opt-in pattern for partitioned execution, so CI can
+    // run an entire test suite under --intra-jobs without plumbing a flag
+    // through every driver. Results are bit-identical either way.
+    if (const char* env = std::getenv("NETCACHE_INTRA_JOBS")) {
+      char* end = nullptr;
+      long n = std::strtol(env, &end, 10);
+      if (end != env && *end == '\0' && n >= 1 && n <= 1024) {
+        config_.intra_jobs = static_cast<int>(n);
+      }
     }
   }
   config_.validate();
@@ -103,6 +116,19 @@ RunSummary Machine::run(apps::Workload& workload,
                       "recovery-off fault injection needs "
                       "RunLimits::fail_on_blocked to diagnose parked "
                       "transactions");
+  }
+  const int intra = std::min(config_.intra_jobs, config_.nodes);
+  if (intra > 1) {
+    // Conservative PDES (DESIGN.md section 13): partition the nodes — and
+    // with them their caches, NIs, and home memory modules, which share the
+    // node's trace tag — across intra threads. Enabled before anything is
+    // scheduled so every event takes the partitioned path.
+    sim::PartitionPlan plan;
+    plan.threads = intra;
+    plan.nodes = config_.nodes;
+    plan.lookahead = sim::validated_lookahead(interconnect_->lookahead(),
+                                              interconnect_->name());
+    engine_.enable_partitions(plan);
   }
   workload.setup(*this);
   workers_remaining_ = config_.nodes;

@@ -33,6 +33,12 @@ class ISpeedNet final : public core::Interconnect {
                       cache::LineState state) override;
   const char* name() const override { return "DMON-I"; }
 
+  /// Same fabric as DMON-U: reservation mini-slot + fiber flight bounds
+  /// every cross-node transfer, including I-SPEED invalidations.
+  Cycles lookahead() const override {
+    return lat_->reservation + lat_->flight;
+  }
+
   /// Directory owner of a block, or kNoNode if memory owns it (test hook).
   NodeId owner_of(Addr block_base) const;
 

@@ -26,17 +26,15 @@ const char* to_string(TraceTagKind kind) {
   return "?";
 }
 
-std::string TraceRing::dump() const {
+std::string format_trace_tail(const std::vector<TraceRecord>& records,
+                              std::uint64_t total_recorded) {
   std::string out;
-  if (!enabled()) return out;
   char line[128];
   std::snprintf(line, sizeof(line),
                 "event trace tail (%" PRIu64 " recorded, last %zu kept):\n",
-                recorded_, recorded_ < ring_.size()
-                               ? static_cast<std::size_t>(recorded_)
-                               : ring_.size());
+                total_recorded, records.size());
   out += line;
-  for_each_tail([&](const TraceRecord& r) {
+  for (const TraceRecord& r : records) {
     char what[32] = "";
     if (r.user_tag != 0) {
       NodeId node = trace_tag_node(r.user_tag);
@@ -52,8 +50,16 @@ std::string TraceRing::dump() const {
                   "  t=%" PRId64 " %-8s seq=%" PRIu64 "%s queue_depth=%u\n",
                   r.time, to_string(r.kind), r.tag, what, r.queue_depth);
     out += line;
-  });
+  }
   return out;
+}
+
+std::string TraceRing::dump() const {
+  if (!enabled()) return std::string();
+  std::vector<TraceRecord> records;
+  records.reserve(ring_.size());
+  for_each_tail([&](const TraceRecord& r) { records.push_back(r); });
+  return format_trace_tail(records, recorded_);
 }
 
 std::string format_blocked_report(const BlockedRegistry& blocked, Cycles now) {

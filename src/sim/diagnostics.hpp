@@ -204,4 +204,11 @@ struct RunLimits {
 /// Formats the blocked-waiter table, one line per waiter.
 std::string format_blocked_report(const BlockedRegistry& blocked, Cycles now);
 
+/// Renders a trace tail (oldest first), one record per line — the shared
+/// formatter behind TraceRing::dump() and the partitioned engine's merged
+/// multi-ring dump. `total_recorded` is the all-time record count (>= the
+/// retained `records.size()`).
+std::string format_trace_tail(const std::vector<TraceRecord>& records,
+                              std::uint64_t total_recorded);
+
 }  // namespace netcache::sim

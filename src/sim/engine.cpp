@@ -18,6 +18,16 @@ void Engine::spawn(Task<void> t, Cycles delay) {
 }
 
 Cycles Engine::run(const RunLimits& limits) {
+  if (parts_) {
+    // Conservative-PDES mode: the partition set owns the loop (it replicates
+    // this function's body in its commit phase); the end-of-run deadlock
+    // check is shared.
+    Cycles t = parts_->run(*this, limits);
+    if (limits.fail_on_blocked && !blocked_.empty()) {
+      fail_run("event queue drained with tasks still blocked (deadlock)");
+    }
+    return t;
+  }
   std::uint64_t stalled = 0;
   const std::uint64_t events_at_start = events_executed_;
   while (!queue_.empty()) {
@@ -68,13 +78,24 @@ void Engine::describe_failure_context(std::string& out) const {
                 "engine state: t=%" PRId64 " events_executed=%" PRIu64
                 " queue_depth=%zu wheel_pushes=%" PRIu64
                 " overflow_pushes=%" PRIu64 "\n",
-                now_, events_executed_, queue_.size(),
-                queue_.stats().wheel_pushes, queue_.stats().overflow_pushes);
+                now_, events_executed_,
+                parts_ ? parts_->size() : queue_.size(),
+                queue_stats().wheel_pushes, queue_stats().overflow_pushes);
   out += line;
+  if (parts_) {
+    std::snprintf(line, sizeof(line),
+                  "pdes state: intra_threads=%d rounds=%" PRIu64
+                  " cross_partition_events=%" PRIu64 "\n",
+                  parts_->threads(), parts_->rounds(),
+                  parts_->cross_partition_events());
+    out += line;
+  }
   if (!blocked_.empty()) {
     out += format_blocked_report(blocked_, now_);
   }
-  if (trace_.enabled()) {
+  if (parts_ && parts_->trace_enabled()) {
+    out += parts_->dump_trace();
+  } else if (trace_.enabled()) {
     out += trace_.dump();
   }
 }

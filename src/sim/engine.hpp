@@ -5,12 +5,14 @@
 
 #include <coroutine>
 #include <cstdint>
+#include <memory>
 
 #include "src/common/failure.hpp"
 #include "src/common/nc_assert.hpp"
 #include "src/common/types.hpp"
 #include "src/sim/diagnostics.hpp"
 #include "src/sim/event_queue.hpp"
+#include "src/sim/partition.hpp"
 #include "src/sim/task.hpp"
 
 namespace netcache::sim {
@@ -32,6 +34,10 @@ class Engine : public FailureContext {
   template <typename F>
   void schedule(Cycles delay, F&& action, std::uint16_t tag = 0) {
     NC_ASSERT(delay >= 0, "cannot schedule into the past");
+    if (parts_) [[unlikely]] {
+      parts_->push(now_ + delay, std::forward<F>(action), tag);
+      return;
+    }
     queue_.push(now_ + delay, std::forward<F>(action), tag);
   }
 
@@ -39,6 +45,10 @@ class Engine : public FailureContext {
   void schedule_resume(Cycles delay, std::coroutine_handle<> h,
                        std::uint16_t tag = 0) {
     NC_ASSERT(delay >= 0, "cannot schedule into the past");
+    if (parts_) [[unlikely]] {
+      parts_->push_resume(now_ + delay, h, tag);
+      return;
+    }
     queue_.push_resume(now_ + delay, h, tag);
   }
 
@@ -48,6 +58,10 @@ class Engine : public FailureContext {
   void schedule_resume_batch(Cycles delay, const std::coroutine_handle<>* hs,
                              std::size_t n, std::uint16_t tag = 0) {
     NC_ASSERT(delay >= 0, "cannot schedule into the past");
+    if (parts_) [[unlikely]] {
+      parts_->push_resume_batch(now_ + delay, hs, n, tag);
+      return;
+    }
     queue_.push_resume_batch(now_ + delay, hs, n, tag);
   }
 
@@ -83,8 +97,28 @@ class Engine : public FailureContext {
   std::uint64_t events_executed() const { return events_executed_; }
 
   /// Timing-wheel occupancy counters: where pushed events landed (O(1) wheel
-  /// bucket vs overflow heap) — the data for sizing kWheelSize.
-  const EventQueueStats& queue_stats() const { return queue_.stats(); }
+  /// bucket vs overflow heap) — the data for sizing kWheelSize. Partitioned
+  /// runs report the serial-identical shadow model's counters, so these are
+  /// independent of --intra-jobs.
+  const EventQueueStats& queue_stats() const {
+    return parts_ ? parts_->stats() : queue_.stats();
+  }
+
+  /// Switches this engine to conservative-PDES execution (see partition.hpp).
+  /// Must be called before any event is scheduled; `plan` must carry a
+  /// validated lookahead. Irreversible for the engine's lifetime.
+  void enable_partitions(const PartitionPlan& plan) {
+    NC_ASSERT(queue_.empty() && now_ == 0 && events_executed_ == 0,
+              "partitions must be enabled before the first event");
+    NC_ASSERT(parts_ == nullptr, "partitions already enabled");
+    parts_ = std::make_unique<PartitionSet>(plan);
+    if (trace_.enabled()) parts_->enable_trace(trace_.capacity());
+  }
+
+  bool partitioned() const { return parts_ != nullptr; }
+
+  /// The partitioned core, or null in serial mode (observability only).
+  const PartitionSet* partitions() const { return parts_.get(); }
 
   /// Suspended waiters currently registered with this engine. Sync and
   /// resource primitives add themselves here while blocked so a drained
@@ -93,8 +127,14 @@ class Engine : public FailureContext {
   const BlockedRegistry& blocked() const { return blocked_; }
 
   /// Opt-in event trace: records (time, kind, tag, queue depth) for the last
-  /// `capacity` executed events. Capacity 0 disables tracing again.
-  void enable_trace(std::size_t capacity) { trace_.enable(capacity); }
+  /// `capacity` executed events. Capacity 0 disables tracing again. In a
+  /// partitioned run each partition keeps its own ring of this capacity and
+  /// failure reports merge the tails by seq (partition-local writes — see
+  /// the thread-confinement contract in DESIGN.md section 10).
+  void enable_trace(std::size_t capacity) {
+    trace_.enable(capacity);
+    if (parts_) parts_->enable_trace(capacity);
+  }
   const TraceRing& trace() const { return trace_; }
 
   /// Engine time, event count, blocked-task table, and trace tail — appended
@@ -102,10 +142,13 @@ class Engine : public FailureContext {
   void describe_failure_context(std::string& out) const override;
 
  private:
+  friend class PartitionSet;  // runs the engine loop body in commit phases
+
   [[noreturn]] void fail_run(const char* problem);
 
   Cycles now_ = 0;
   EventQueue queue_;
+  std::unique_ptr<PartitionSet> parts_;  // null = serial execution
   std::uint64_t events_executed_ = 0;
   BlockedRegistry blocked_;
   TraceRing trace_;

@@ -231,6 +231,13 @@ class EventQueue {
   void push_resume_batch(Cycles time, const std::coroutine_handle<>* hs,
                          std::size_t n, std::uint16_t tag = 0);
 
+  /// Inserts a fully built event carrying a caller-assigned seq, bypassing
+  /// this queue's own counter — the partitioned engine's entry point (one
+  /// global counter spans all partition queues). Bucket-FIFO determinism
+  /// requires same-time events to arrive in ascending seq order; the
+  /// PartitionSet channel merge guarantees that.
+  void push_event(Event&& e) { insert(std::move(e)); }
+
   bool empty() const { return size_ == 0; }
   std::size_t size() const { return size_; }
 

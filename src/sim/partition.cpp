@@ -1,0 +1,299 @@
+#include "src/sim/partition.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "src/common/nc_assert.hpp"
+#include "src/common/sim_error.hpp"
+#include "src/sim/engine.hpp"
+
+namespace netcache::sim {
+
+Cycles validated_lookahead(Cycles declared, const char* system) {
+  if (declared <= 0) {
+    throw ConfigError("lookahead", std::to_string(declared),
+                      std::string("network stack ") + system +
+                          " declares a non-positive conservative lookahead; "
+                          "a PDES window needs at least one cycle between an "
+                          "event and its earliest cross-node effect");
+  }
+  return declared;
+}
+
+PartitionSet::PartitionSet(const PartitionPlan& plan)
+    : plan_(plan),
+      stage_width_(plan.stage_window > 0
+                       ? plan.stage_window
+                       : std::max(plan.lookahead, kMinStageWindow)),
+      parts_(static_cast<std::size_t>(plan.threads)),
+      channels_(static_cast<std::size_t>(plan.threads) *
+                static_cast<std::size_t>(plan.threads)),
+      barrier_(plan.threads) {
+  NC_ASSERT(plan.threads >= 1 && plan.nodes >= plan.threads,
+            "partition plan needs 1 <= threads <= nodes");
+  NC_ASSERT(plan.lookahead > 0, "partition plan lookahead must be validated");
+}
+
+void PartitionSet::SerialQueueModel::on_push(Cycles time, std::size_t n) {
+  // Mirrors EventQueue::insert/push_resume_batch: cursor snaps on empty,
+  // wheel-vs-overflow classifies against the (possibly regrown) horizon, and
+  // the regrow check runs once per accounted overflow push (or batch).
+  if (size == 0) cursor = time;
+  if (time - cursor < static_cast<Cycles>(wheel_size)) {
+    stats.wheel_pushes += n;
+  } else {
+    stats.overflow_pushes += n;
+    // The serial queue's high-water mark tracks live heap occupancy, which
+    // depends on pop interleaving this model does not replay; a monotone
+    // upper bound keeps the field sane. Not serialized into RunSummary.
+    overflow_live += n;
+    stats.max_overflow_size = std::max(stats.max_overflow_size, overflow_live);
+    if (!regrown &&
+        stats.wheel_pushes + stats.overflow_pushes >=
+            EventQueue::kRegrowMinPushes &&
+        stats.overflow_fraction() > EventQueue::kRegrowOverflowFraction) {
+      wheel_size *= 2;
+      regrown = true;
+      ++stats.wheel_regrows;
+    }
+  }
+  size += n;
+}
+
+void PartitionSet::push_resume_batch(Cycles time,
+                                     const std::coroutine_handle<>* hs,
+                                     std::size_t n, std::uint16_t tag) {
+  if (n == 0) return;
+  model_.on_push(time, n);
+  pending_ += n;
+  const int owner = route(tag);
+  // Expanded deliver(): the model accounting above already matched the
+  // serial batch push (n counted, one regrow check), so each event now just
+  // needs transport to its destination in seq order.
+  for (std::size_t i = 0; i < n; ++i) {
+    Event e = Event::make_resume(time, next_seq_++, hs[i], tag);
+    if (!committing_) {
+      parts_[static_cast<std::size_t>(owner)].queue.push_event(std::move(e));
+    } else if (time < window_end_) {
+      residual_.push_back(Residual{owner, std::move(e)});
+      std::push_heap(residual_.begin(), residual_.end(), residual_later);
+    } else {
+      if (owner != current_partition_) ++cross_events_;
+      channel(current_partition_, owner).push(std::move(e));
+      channel_min_ = std::min(channel_min_, time);
+    }
+  }
+}
+
+void PartitionSet::deliver(int owner, Event&& e) {
+  model_.on_push(e.time, 1);
+  ++pending_;
+  if (!committing_) {
+    // Pre-run scheduling (Machine setup, spawns): handlers are not firing,
+    // so there is no window yet — insert directly. Seqs are assigned in call
+    // order, so per-queue insertion order is ascending, as the wheel's
+    // bucket-FIFO invariant requires.
+    parts_[static_cast<std::size_t>(owner)].queue.push_event(std::move(e));
+    return;
+  }
+  if (e.time < window_end_) {
+    // Still inside the window being committed: the merge must see it, in
+    // global (time, seq) position — exactly what the serial queue would do.
+    residual_.push_back(Residual{owner, std::move(e)});
+    std::push_heap(residual_.begin(), residual_.end(), residual_later);
+    return;
+  }
+  if (owner != current_partition_) ++cross_events_;
+  channel_min_ = std::min(channel_min_, e.time);
+  channel(current_partition_, owner).push(std::move(e));
+}
+
+void PartitionSet::drain_and_stage(int p) {
+  Partition& part = parts_[static_cast<std::size_t>(p)];
+  const int T = threads();
+  // 1. Drain the inbox: one channel per producer partition, each already in
+  //    ascending seq order (the producer pushed in fire order). A k-way
+  //    merge by seq reconstructs the global push order, so the timing
+  //    wheel's bucket FIFOs fill exactly as a serial queue's would.
+  for (;;) {
+    SpscChannel* best = nullptr;
+    std::uint64_t best_seq = 0;
+    for (int src = 0; src < T; ++src) {
+      SpscChannel& ch = channel(src, p);
+      if (!ch.drained()) {
+        std::uint64_t seq = ch.buffer[ch.head].seq;
+        if (best == nullptr || seq < best_seq) {
+          best = &ch;
+          best_seq = seq;
+        }
+      }
+    }
+    if (best == nullptr) break;
+    part.queue.push_event(std::move(best->buffer[best->head++]));
+  }
+  for (int src = 0; src < T; ++src) channel(src, p).reset();
+  // 2. Extract this partition's slice of the window, in pop order (already
+  //    globally (time, seq)-sorted within the partition).
+  part.staged.clear();
+  part.staged_head = 0;
+  while (part.queue.size() > 0 && part.queue.next_time() < window_end_) {
+    part.staged.push_back(part.queue.pop());
+  }
+}
+
+void PartitionSet::commit_phase(Engine& engine, const RunLimits& limits,
+                                std::uint64_t* stalled,
+                                std::uint64_t events_at_start) {
+  committing_ = true;
+  const int T = threads();
+  for (;;) {
+    // Next event to fire: minimum (time, seq) across the T staged batches
+    // (each sorted) and the residual heap.
+    int best = -1;  // partition index, or T for the residual heap
+    Cycles best_time = 0;
+    std::uint64_t best_seq = 0;
+    for (int p = 0; p < T; ++p) {
+      const Partition& part = parts_[static_cast<std::size_t>(p)];
+      if (part.staged_head < part.staged.size()) {
+        const Event& e = part.staged[part.staged_head];
+        if (best < 0 || e.time < best_time ||
+            (e.time == best_time && e.seq < best_seq)) {
+          best = p;
+          best_time = e.time;
+          best_seq = e.seq;
+        }
+      }
+    }
+    if (!residual_.empty()) {
+      const Event& e = residual_.front().event;
+      if (best < 0 || e.time < best_time ||
+          (e.time == best_time && e.seq < best_seq)) {
+        best = T;
+      }
+    }
+    if (best < 0) break;
+
+    Event ev;
+    int owner;
+    if (best == T) {
+      std::pop_heap(residual_.begin(), residual_.end(), residual_later);
+      owner = residual_.back().owner;
+      ev = std::move(residual_.back().event);
+      residual_.pop_back();
+    } else {
+      Partition& part = parts_[static_cast<std::size_t>(best)];
+      owner = best;
+      ev = std::move(part.staged[part.staged_head++]);
+    }
+    current_partition_ = owner;
+    model_.on_pop(ev.time);
+    --pending_;
+
+    // --- Serial run-loop body, replicated statement for statement. ---
+    if (limits.max_stalled_events) {
+      *stalled = ev.time == engine.now_ ? *stalled + 1 : 0;
+      if (*stalled > limits.max_stalled_events) {
+        engine.now_ = ev.time;
+        engine.fail_run("virtual time stalled (livelock?)");
+      }
+    }
+    engine.now_ = ev.time;
+    if (limits.max_cycles && engine.now_ >= limits.max_cycles) {
+      engine.fail_run("virtual-time budget (max_cycles) exhausted");
+    }
+    Partition& part = parts_[static_cast<std::size_t>(owner)];
+    if (part.trace.enabled()) {
+      part.trace.record(ev.time,
+                        ev.is_resume() ? TraceKind::kResume
+                                       : TraceKind::kCallback,
+                        ev.seq, static_cast<std::uint32_t>(pending_), ev.tag);
+    }
+    ev.fire();
+    ++engine.events_executed_;
+    if (limits.max_events &&
+        engine.events_executed_ - events_at_start >= limits.max_events) {
+      if (pending_ != 0) {
+        engine.fail_run("event budget (max_events) exhausted");
+      }
+    }
+  }
+  committing_ = false;
+  current_partition_ = 0;
+}
+
+Cycles PartitionSet::run(Engine& engine, const RunLimits& limits) {
+  const int T = threads();
+  std::uint64_t stalled = 0;
+  const std::uint64_t events_at_start = engine.events_executed_;
+
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(T - 1));
+  for (int p = 1; p < T; ++p) {
+    workers.emplace_back([this, p] {
+      for (;;) {
+        barrier_.arrive_and_wait();  // round start (or shutdown)
+        if (done_) return;
+        drain_and_stage(p);
+        barrier_.arrive_and_wait();  // staging complete
+      }
+    });
+  }
+  auto park_workers = [&] {
+    done_ = true;
+    barrier_.arrive_and_wait();  // release everyone into the done_ check
+    for (auto& w : workers) w.join();
+  };
+
+  try {
+    while (pending_ != 0) {
+      // LBTS: nothing anywhere — queues or in-flight channels — fires below
+      // this, so [LBTS, LBTS + W) is a complete, immutable set of events
+      // once the parallel phase has staged it.
+      Cycles lbts = channel_min_;
+      for (const Partition& part : parts_) {
+        if (part.queue.size() > 0) {
+          lbts = std::min(lbts, part.queue.next_time());
+        }
+      }
+      NC_ASSERT(lbts != kNoTime, "pending events but no queue/channel source");
+      window_end_ = lbts > kNoTime - stage_width_ ? kNoTime
+                                                  : lbts + stage_width_;
+      channel_min_ = kNoTime;
+      ++rounds_;
+      barrier_.arrive_and_wait();  // open the parallel phase
+      drain_and_stage(0);
+      barrier_.arrive_and_wait();  // all batches staged
+      commit_phase(engine, limits, &stalled, events_at_start);
+    }
+  } catch (...) {
+    park_workers();
+    throw;
+  }
+  park_workers();
+  return engine.now_;
+}
+
+void PartitionSet::enable_trace(std::size_t capacity) {
+  trace_capacity_ = capacity;
+  for (Partition& part : parts_) part.trace.enable(capacity);
+}
+
+std::string PartitionSet::dump_trace() const {
+  // Union of the per-partition retained tails, merged back into fire order
+  // by seq. With T rings of capacity C this keeps up to T*C records — a
+  // superset of the serial ring's tail, same per-line format.
+  std::vector<TraceRecord> records;
+  std::uint64_t recorded = 0;
+  for (const Partition& part : parts_) {
+    recorded += part.trace.recorded();
+    part.trace.for_each_tail(
+        [&](const TraceRecord& r) { records.push_back(r); });
+  }
+  std::sort(records.begin(), records.end(),
+            [](const TraceRecord& a, const TraceRecord& b) {
+              return a.tag < b.tag;  // tag = insertion seq, globally unique
+            });
+  return format_trace_tail(records, recorded);
+}
+
+}  // namespace netcache::sim

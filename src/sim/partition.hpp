@@ -1,0 +1,276 @@
+// Conservative intra-simulation parallelism (PDES) for the engine.
+//
+// A single Machine run is decomposed into T node partitions, each owning a
+// private EventQueue (timing wheel + overflow heap). Rounds alternate two
+// phases separated by a condvar barrier:
+//
+//   parallel phase  — every partition thread drains its inbox channels and
+//                     extracts the events inside the current staging window
+//                     [LBTS, LBTS + W) from its own wheel, in parallel;
+//   commit phase    — the coordinator k-way-merges the staged batches by
+//                     (time, seq) and fires them one by one, exactly like the
+//                     serial run loop. Events scheduled while firing route to
+//                     the owning partition: in-window events go to a residual
+//                     heap consumed by the same merge; beyond-window events
+//                     go through per-(src, dst) SPSC channels drained at the
+//                     next parallel phase.
+//
+// LBTS (lower-bound timestamp) is the minimum over all partition queues'
+// next_time() and all in-flight channel events — no event below it can ever
+// be created, because simulated time is monotone. Each network stack declares
+// a conservative lookahead (Interconnect::lookahead(): the minimum latency
+// between an event on one node and its earliest effect on another node,
+// validated > 0 by validated_lookahead()); the staging window is
+// max(lookahead, kMinStageWindow). Widening the window beyond the lookahead
+// is safe *in this design* because commits are serialized in global (time,
+// seq) order — the lookahead is what licenses the partitions to run their
+// queue maintenance (drain/classify/extract, the measured hot path of big
+// runs) concurrently without ever seeing a partial picture of the window,
+// and it is the contract a future parallel-commit mode would inherit.
+//
+// Determinism: seq numbers are assigned from one global counter in fire
+// order, which is the serial fire order by construction; every queue insert
+// happens in ascending seq per (partition, drain) thanks to the channel
+// merge, preserving the timing wheel's bucket-FIFO invariant. A shadow model
+// replays the serial queue's wheel/overflow accounting so RunSummary's
+// wheel_pushes / overflow_pushes / wheel_regrows — and therefore the result
+// cache's stored bytes — are identical to --intra-jobs=1.
+//
+// Thread-confinement contract (DESIGN.md section 10/13): handlers only ever
+// run on the coordinator thread, so Stats/Histogram accumulation, the
+// BlockedRegistry, RNG, and coroutine frames (thread_local FrameArena) stay
+// single-threaded. Worker threads touch only their partition's queue, their
+// inbox channels, and their staged batch, with the barrier providing the
+// happens-before edges between phases (TSan-clean by construction).
+#pragma once
+
+#include <condition_variable>
+#include <coroutine>
+#include <cstdint>
+#include <limits>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/types.hpp"
+#include "src/sim/diagnostics.hpp"
+#include "src/sim/event_queue.hpp"
+
+namespace netcache::sim {
+
+class Engine;
+
+/// How a partitioned run is laid out. Nodes are split into `threads`
+/// contiguous balanced blocks (node n belongs to partition n*threads/nodes),
+/// so a node's caches, NI, and home memory module share one wheel.
+struct PartitionPlan {
+  int threads = 1;
+  int nodes = 0;
+  /// Stack-declared conservative lookahead (see Interconnect::lookahead()).
+  /// Must have passed validated_lookahead().
+  Cycles lookahead = 0;
+  /// Staging window width; 0 selects max(lookahead, kMinStageWindow).
+  Cycles stage_window = 0;
+};
+
+/// Checks a stack-declared lookahead: a conservative PDES barrier derived
+/// from a non-positive lookahead would admit zero-width windows (no
+/// guaranteed-complete event range), so such stacks are rejected up front.
+/// Returns `declared` on success; throws ConfigError naming `system`.
+Cycles validated_lookahead(Cycles declared, const char* system);
+
+/// Two-phase rendezvous for the round protocol. Mutex + condvar (not
+/// std::barrier) so TSan sees textbook release/acquire edges and the workers
+/// park cheaply between rounds — round counts are ~runtime/window, far too
+/// low for spin-waiting to pay.
+class PhaseBarrier {
+ public:
+  explicit PhaseBarrier(int parties) : parties_(parties) {}
+
+  void arrive_and_wait() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    std::uint64_t gen = generation_;
+    if (++arrived_ == parties_) {
+      arrived_ = 0;
+      ++generation_;
+      cv_.notify_all();
+    } else {
+      cv_.wait(lock, [&] { return generation_ != gen; });
+    }
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  int parties_;
+  int arrived_ = 0;
+  std::uint64_t generation_ = 0;
+};
+
+/// Single-producer single-consumer event channel for one (src partition,
+/// dst partition) pair. The producer fills it during the commit phase (only
+/// the coordinator runs handlers); the consumer drains it during the next
+/// parallel phase. The phases never overlap — the barrier between them is
+/// the synchronization — so plain unguarded storage is correct and the
+/// channel costs nothing beyond the vector it reuses.
+struct SpscChannel {
+  std::vector<Event> buffer;
+  std::size_t head = 0;  // consumer's read position during a drain
+
+  void push(Event&& e) { buffer.push_back(std::move(e)); }
+  bool drained() const { return head == buffer.size(); }
+  void reset() {
+    buffer.clear();
+    head = 0;
+  }
+};
+
+/// The partitioned engine core. Owned by Engine once enable_partitions() is
+/// called; Engine's schedule paths then route events here instead of into
+/// the serial queue, and Engine::run() delegates to PartitionSet::run().
+class PartitionSet {
+ public:
+  /// Floor on the staging window, in cycles. Stack lookaheads are single
+  /// cycles (one fiber flight), which would make rounds degenerate to one
+  /// event each; since commits are serialized anyway, a wider window only
+  /// batches more parallel queue maintenance per barrier crossing.
+  static constexpr Cycles kMinStageWindow = 2048;
+
+  explicit PartitionSet(const PartitionPlan& plan);
+
+  int threads() const { return static_cast<int>(parts_.size()); }
+  const PartitionPlan& plan() const { return plan_; }
+
+  /// Partition owning node `n`: contiguous balanced blocks.
+  int partition_of_node(NodeId n) const {
+    return static_cast<int>((static_cast<std::int64_t>(n) * threads()) /
+                            plan_.nodes);
+  }
+
+  // --- Engine push paths (mirror EventQueue's API, global seq). ---
+
+  template <typename F>
+  void push(Cycles time, F&& action, std::uint16_t tag) {
+    deliver(route(tag),
+            Event::make_callback(time, next_seq_++, std::forward<F>(action),
+                                 tag));
+  }
+
+  void push_resume(Cycles time, std::coroutine_handle<> h, std::uint16_t tag) {
+    deliver(route(tag), Event::make_resume(time, next_seq_++, h, tag));
+  }
+
+  void push_resume_batch(Cycles time, const std::coroutine_handle<>* hs,
+                         std::size_t n, std::uint16_t tag);
+
+  bool empty() const { return pending_ == 0; }
+  std::size_t size() const { return pending_; }
+
+  /// Serial-identical queue accounting (see SerialQueueModel below).
+  const EventQueueStats& stats() const { return model_.stats; }
+
+  /// Runs the round protocol until no events remain anywhere. Replicates
+  /// Engine::run()'s loop body (watchdogs, tracing, event accounting)
+  /// bit-for-bit; returns the final virtual time. Throws SimError on any
+  /// watchdog trip, after parking and joining the worker threads.
+  Cycles run(Engine& engine, const RunLimits& limits);
+
+  /// Partition-local tracing: each partition records its fired events into
+  /// its own ring (same capacity each); dump_trace() merges the retained
+  /// tails by seq. Mirrors Engine::enable_trace for partitioned runs.
+  void enable_trace(std::size_t capacity);
+  bool trace_enabled() const { return trace_capacity_ > 0; }
+  std::string dump_trace() const;
+
+  // --- Observability (tests, benches). ---
+  std::uint64_t rounds() const { return rounds_; }
+  std::uint64_t cross_partition_events() const { return cross_events_; }
+
+ private:
+  struct Partition {
+    EventQueue queue;
+    /// Events extracted for the current window, (time, seq)-sorted (queue
+    /// pop order). The commit merge consumes from staged_head.
+    std::vector<Event> staged;
+    std::size_t staged_head = 0;
+    TraceRing trace;
+  };
+
+  /// In-window event scheduled during the commit phase, waiting to be merged
+  /// back into fire order (min-heap on (time, seq)).
+  struct Residual {
+    int owner;
+    Event event;
+  };
+
+  /// Heap comparator: true when `a` fires after `b` (min-heap on (time, seq)).
+  static bool residual_later(const Residual& a, const Residual& b) {
+    if (a.event.time != b.event.time) return a.event.time > b.event.time;
+    return a.event.seq > b.event.seq;
+  }
+
+  /// Replays the serial EventQueue's stats classification against the global
+  /// push/pop stream so a partitioned run reports — and serializes — exactly
+  /// the counters a serial run would. Cursor = last fired time (pop() snaps
+  /// it), wheel horizon doubles once under the same regrow rule.
+  struct SerialQueueModel {
+    EventQueueStats stats;
+    Cycles cursor = 0;
+    std::size_t size = 0;
+    std::size_t wheel_size = EventQueue::kWheelSize;
+    std::uint64_t overflow_live = 0;
+    bool regrown = false;
+
+    void on_push(Cycles time, std::size_t n);
+    void on_pop(Cycles time) {
+      cursor = time;
+      --size;
+    }
+  };
+
+  static constexpr Cycles kNoTime = std::numeric_limits<Cycles>::max();
+
+  /// Owning partition for an event tag: tagged events go to their node's
+  /// partition; untagged events inherit the partition whose event is firing
+  /// (self-scheduling — delays, retries — stays local by construction).
+  int route(std::uint16_t tag) const {
+    NodeId node = trace_tag_node(tag);
+    if (node >= 0 && node < plan_.nodes) return partition_of_node(node);
+    return current_partition_;
+  }
+
+  SpscChannel& channel(int src, int dst) {
+    return channels_[static_cast<std::size_t>(src) * parts_.size() +
+                     static_cast<std::size_t>(dst)];
+  }
+
+  void deliver(int owner, Event&& e);
+  void drain_and_stage(int p);
+  void commit_phase(Engine& engine, const RunLimits& limits,
+                    std::uint64_t* stalled, std::uint64_t events_at_start);
+
+  PartitionPlan plan_;
+  Cycles stage_width_;
+  std::vector<Partition> parts_;
+  /// channels_[src * threads + dst]: events produced while partition src's
+  /// event was firing, owned by partition dst, beyond the current window.
+  std::vector<SpscChannel> channels_;
+  std::vector<Residual> residual_;  // min-heap on (time, seq)
+  SerialQueueModel model_;
+  std::uint64_t next_seq_ = 0;
+  std::size_t pending_ = 0;
+
+  // Round state (coordinator-written; workers read window_end_ between the
+  // two barriers of a round, and done_ right after the round-start barrier).
+  Cycles window_end_ = 0;
+  Cycles channel_min_ = kNoTime;
+  bool committing_ = false;
+  int current_partition_ = 0;
+  bool done_ = false;
+  std::uint64_t rounds_ = 0;
+  std::uint64_t cross_events_ = 0;
+  std::size_t trace_capacity_ = 0;
+  PhaseBarrier barrier_;
+};
+
+}  // namespace netcache::sim

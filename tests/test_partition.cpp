@@ -1,0 +1,249 @@
+// Conservative-PDES partition layer tests (src/sim/partition.hpp): the
+// bit-identity contract (--intra-jobs never changes results), lookahead
+// validation, cross-partition deadlock diagnosis, and fault-injection
+// determinism across thread counts. See DESIGN.md section 13.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/apps/workload.hpp"
+#include "src/common/config.hpp"
+#include "src/common/sim_error.hpp"
+#include "src/core/machine.hpp"
+#include "src/core/run_summary.hpp"
+#include "src/core/sync.hpp"
+#include "src/sim/partition.hpp"
+#include "src/sweep/sweep.hpp"
+
+namespace netcache {
+namespace {
+
+using core::Machine;
+using core::RunSummary;
+
+// This binary needs true serial baselines (intra_jobs = 1 means one thread,
+// not "whatever the CI job exported"), so drop the environment opt-in before
+// any Machine is built. EnvironmentOptIn sets and restores its own value.
+const bool g_env_cleared = [] {
+  unsetenv("NETCACHE_INTRA_JOBS");
+  return true;
+}();
+
+constexpr SystemKind kAllSystems[] = {
+    SystemKind::kNetCache, SystemKind::kNetCacheNoRing, SystemKind::kLambdaNet,
+    SystemKind::kDmonUpdate, SystemKind::kDmonInvalidate};
+
+/// The whole serialized summary minus wall-clock (host observability, the
+/// one field the determinism contract excepts).
+std::string canonical(RunSummary s) {
+  s.wall_seconds = 0.0;
+  return core::serialize_summary(s);
+}
+
+RunSummary run_app(const std::string& app, SystemKind system, int intra_jobs,
+                   double scale = 0.1, const std::string& faults = "") {
+  MachineConfig cfg;
+  cfg.nodes = 16;
+  cfg.system = system;
+  cfg.intra_jobs = intra_jobs;
+  if (!faults.empty()) {
+    cfg.faults.spec = faults;
+    cfg.verify = true;
+  }
+  Machine machine(cfg);
+  apps::WorkloadParams params;
+  params.scale = scale;
+  auto workload = apps::make_workload(app, params);
+  return machine.run(*workload);
+}
+
+TEST(Lookahead, NonPositiveDeclarationsAreRejected) {
+  EXPECT_THROW(sim::validated_lookahead(0, "TestNet"), ConfigError);
+  EXPECT_THROW(sim::validated_lookahead(-3, "TestNet"), ConfigError);
+  EXPECT_EQ(sim::validated_lookahead(5, "TestNet"), 5);
+  try {
+    sim::validated_lookahead(0, "TestNet");
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("TestNet"), std::string::npos);
+  }
+}
+
+TEST(Lookahead, EveryStackDeclaresAPositiveLookahead) {
+  for (SystemKind system : kAllSystems) {
+    MachineConfig cfg;
+    cfg.nodes = 4;
+    cfg.system = system;
+    Machine machine(cfg);
+    EXPECT_GT(machine.interconnect().lookahead(), 0)
+        << machine.interconnect().name();
+    // What Machine::run would do — must accept every shipped stack.
+    EXPECT_NO_THROW(sim::validated_lookahead(
+        machine.interconnect().lookahead(), machine.interconnect().name()));
+  }
+}
+
+TEST(PartitionConfig, IntraJobsValidation) {
+  MachineConfig cfg;
+  cfg.intra_jobs = 0;
+  EXPECT_THROW(cfg.validate(), ConfigError);
+  cfg.intra_jobs = -2;
+  EXPECT_THROW(cfg.validate(), ConfigError);
+  cfg.intra_jobs = 2000;
+  EXPECT_THROW(cfg.validate(), ConfigError);
+  cfg.intra_jobs = 8;
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(PartitionConfig, EnvironmentOptIn) {
+  ASSERT_EQ(setenv("NETCACHE_INTRA_JOBS", "3", 1), 0);
+  MachineConfig cfg;
+  cfg.nodes = 8;
+  Machine machine(cfg);
+  unsetenv("NETCACHE_INTRA_JOBS");
+  EXPECT_EQ(machine.config().intra_jobs, 3);
+  // An explicit setting is not overridden by the environment.
+  ASSERT_EQ(setenv("NETCACHE_INTRA_JOBS", "7", 1), 0);
+  MachineConfig explicit_cfg;
+  explicit_cfg.nodes = 8;
+  explicit_cfg.intra_jobs = 2;
+  Machine explicit_machine(explicit_cfg);
+  unsetenv("NETCACHE_INTRA_JOBS");
+  EXPECT_EQ(explicit_machine.config().intra_jobs, 2);
+}
+
+TEST(PartitionConfig, ThreadsClampToNodeCount) {
+  MachineConfig cfg;
+  cfg.nodes = 2;
+  cfg.intra_jobs = 8;
+  Machine machine(cfg);
+  apps::WorkloadParams params;
+  params.scale = 0.05;
+  auto workload = apps::make_workload("fft", params);
+  RunSummary s = machine.run(*workload);
+  EXPECT_TRUE(s.verified);
+  ASSERT_TRUE(machine.engine().partitioned());
+  EXPECT_EQ(machine.engine().partitions()->threads(), 2);
+}
+
+TEST(PartitionConfig, ComposeRuleInvariants) {
+  // jobs x intra never exceeds the hardware (at least 1 intra thread).
+  for (int jobs : {1, 2, 4, 8, 16}) {
+    for (int intra : {1, 2, 4, 8}) {
+      int composed = sweep::compose_intra_jobs(jobs, intra);
+      EXPECT_GE(composed, 1);
+      EXPECT_LE(composed, intra);
+      unsigned hw = std::thread::hardware_concurrency();
+      int budget = static_cast<int>(hw >= 1 ? hw : 1);
+      if (composed > 1) {
+        EXPECT_LE(jobs * composed, budget);
+      }
+    }
+  }
+  EXPECT_EQ(sweep::compose_intra_jobs(1, 1), 1);
+}
+
+// The tentpole contract: a partitioned run is bit-identical to the serial
+// engine — the full serialized RunSummary (events, run_time, every stat,
+// histogram quantiles, timing-wheel counters), not just a spot check.
+TEST(PartitionIdentity, EverySystemAtTwoAndFourThreads) {
+  for (SystemKind system : kAllSystems) {
+    RunSummary serial = run_app("fft", system, 1);
+    ASSERT_TRUE(serial.verified) << serial.system;
+    const std::string want = canonical(serial);
+    for (int threads : {2, 4}) {
+      RunSummary part = run_app("fft", system, threads);
+      EXPECT_EQ(canonical(part), want)
+          << serial.system << " diverged at intra_jobs=" << threads;
+    }
+  }
+}
+
+TEST(PartitionIdentity, EveryAppOnNetCacheAtFourThreads) {
+  for (const char* app : {"cg", "em3d", "fft", "gauss", "lu", "mg", "ocean",
+                          "radix", "raytrace", "sor", "water", "wf"}) {
+    RunSummary serial = run_app(app, SystemKind::kNetCache, 1, 0.05);
+    ASSERT_TRUE(serial.verified) << app;
+    RunSummary part = run_app(app, SystemKind::kNetCache, 4, 0.05);
+    EXPECT_EQ(canonical(part), canonical(serial))
+        << app << " diverged at intra_jobs=4";
+  }
+}
+
+TEST(PartitionIdentity, FaultInjectedRunsMatchAcrossThreadCounts) {
+  const std::string spec = "drop-update:1,outage:1@300";
+  RunSummary serial =
+      run_app("gauss", SystemKind::kNetCache, 1, 0.1, spec);
+  EXPECT_TRUE(serial.faults_enabled);
+  EXPECT_GT(serial.faults.injected, 0u);
+  const std::string want = canonical(serial);
+  for (int threads : {2, 4}) {
+    RunSummary part =
+        run_app("gauss", SystemKind::kNetCache, threads, 0.1, spec);
+    EXPECT_EQ(canonical(part), want)
+        << "faulted run diverged at intra_jobs=" << threads;
+  }
+}
+
+/// The classic miscounted barrier: parties = workers + 1, so the release
+/// never happens and every CPU parks forever — in a partitioned run the
+/// waiters are spread across partitions, and the diagnosis must still name
+/// them all.
+struct MiscountedBarrier : apps::Workload {
+  core::Barrier* barrier = nullptr;
+  const char* name() const override { return "miscounted-barrier"; }
+  void setup(Machine& machine) override {
+    barrier = &machine.make_barrier(machine.nodes() + 1);
+  }
+  sim::Task<void> run(core::Cpu& cpu, int) override {
+    co_await barrier->wait(cpu);
+  }
+  bool verify() override { return true; }
+};
+
+TEST(PartitionFailure, DeadlockInOnePartitionStillReportsEveryWaiter) {
+  MachineConfig cfg;
+  cfg.nodes = 4;
+  cfg.intra_jobs = 2;
+  Machine machine(cfg);
+  machine.engine().enable_trace(64);
+  MiscountedBarrier workload;
+  try {
+    machine.run(workload);
+    FAIL() << "expected SimError (deadlock)";
+  } catch (const SimError& e) {
+    const std::string report = e.what();
+    EXPECT_NE(report.find("blocked"), std::string::npos) << report;
+    EXPECT_NE(report.find("Barrier"), std::string::npos) << report;
+    // All four waiters appear, including ones in the other partition.
+    for (const char* who : {"cpu 0", "cpu 1", "cpu 2", "cpu 3"}) {
+      EXPECT_NE(report.find(who), std::string::npos)
+          << "missing waiter " << who << " in:\n" << report;
+    }
+    // The merged partition-local trace rings made it into the report.
+    EXPECT_NE(report.find("event trace tail"), std::string::npos) << report;
+    EXPECT_NE(report.find("pdes state"), std::string::npos) << report;
+  }
+}
+
+TEST(PartitionFailure, WatchdogBudgetsMatchSerialBehavior) {
+  for (int intra : {1, 2}) {
+    MachineConfig cfg;
+    cfg.nodes = 4;
+    cfg.intra_jobs = intra;
+    Machine machine(cfg);
+    apps::WorkloadParams params;
+    params.scale = 0.05;
+    auto workload = apps::make_workload("fft", params);
+    sim::RunLimits limits;
+    limits.max_events = 100;  // far below what the run needs
+    EXPECT_THROW(machine.run(*workload, limits), SimError)
+        << "intra_jobs=" << intra;
+  }
+}
+
+}  // namespace
+}  // namespace netcache
