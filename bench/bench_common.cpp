@@ -9,6 +9,7 @@
 #include <cstring>
 
 #include "src/sweep/result_cache.hpp"
+#include "src/sweep/supervisor.hpp"
 
 namespace netcache::bench {
 
@@ -85,6 +86,18 @@ const core::RunSummary& CellRef::summary() const {
   return r.summary;
 }
 
+bool CellRef::ok() const {
+  if (g_driver == nullptr || index_ >= g_driver->size()) return false;
+  const sweep::CellResult& r = g_driver->result(index_);
+  return r.ok && r.summary.verified;
+}
+
+const std::string& CellRef::error() const {
+  static const std::string empty;
+  if (g_driver == nullptr || index_ >= g_driver->size()) return empty;
+  return g_driver->result(index_).error;
+}
+
 CellRef submit(const std::string& app, SystemKind system,
                const SimOptions& opts) {
   if (g_driver == nullptr) {
@@ -110,6 +123,13 @@ void Table::set(const std::string& row, const std::string& column,
   cells_[row][column] = value;
 }
 
+void Table::set_failed(const std::string& row, const std::string& column) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (cells_.find(row) == cells_.end()) row_order_.push_back(row);
+  cells_[row];  // reserve the row even if no column ever gets a value
+  failed_[row][column] = true;
+}
+
 void Table::print() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::printf("\n== %s ==\n", title_.c_str());
@@ -119,7 +139,12 @@ void Table::print() const {
   for (const auto& row : row_order_) {
     std::printf("%-12s", row.c_str());
     const auto& vals = cells_.at(row);
+    auto failed_row = failed_.find(row);
     for (const auto& c : columns_) {
+      if (failed_row != failed_.end() && failed_row->second.count(c) > 0) {
+        std::printf(" %12s", "failed");
+        continue;
+      }
       auto it = vals.find(c);
       if (it == vals.end()) {
         std::printf(" %12s", "-");
@@ -140,7 +165,12 @@ std::string Table::to_csv() const {
   for (const auto& row : row_order_) {
     out += row;
     const auto& vals = cells_.at(row);
+    auto failed_row = failed_.find(row);
     for (const auto& c : columns_) {
+      if (failed_row != failed_.end() && failed_row->second.count(c) > 0) {
+        out += ",failed";
+        continue;
+      }
       auto it = vals.find(c);
       if (it == vals.end()) {
         out += ",";
@@ -188,8 +218,41 @@ int bench_main(int argc, char** argv,
   int out = 1;
   bool no_cache = false;
   const char* cache_dir = nullptr;
+  sweep::IsolationOptions iso = sweep::default_isolation();
   for (int i = 1; i < argc; ++i) {
     const char* a = argv[i];
+    if (std::strcmp(a, "--isolate") == 0) {
+      iso.enabled = true;
+      continue;
+    }
+    if (std::strncmp(a, "--cell-timeout=", 15) == 0) {
+      char* end = nullptr;
+      double s = std::strtod(a + 15, &end);
+      if (end == a + 15 || *end != '\0' || s < 0) {
+        std::fprintf(stderr, "bad --cell-timeout value '%s'\n", a + 15);
+        return 1;
+      }
+      iso.cell_timeout_s = s;
+      continue;
+    }
+    if (std::strncmp(a, "--cell-retries=", 15) == 0) {
+      char* end = nullptr;
+      long n = std::strtol(a + 15, &end, 10);
+      if (end == a + 15 || *end != '\0' || n < 0) {
+        std::fprintf(stderr, "bad --cell-retries value '%s'\n", a + 15);
+        return 1;
+      }
+      iso.cell_retries = static_cast<int>(n);
+      continue;
+    }
+    if (std::strncmp(a, "--forensics=", 12) == 0) {
+      if (a[12] == '\0') {
+        std::fprintf(stderr, "bad --forensics value: empty directory\n");
+        return 1;
+      }
+      iso.forensics_dir = a + 12;
+      continue;
+    }
     if (std::strncmp(a, "--jobs=", 7) == 0) {
       char* end = nullptr;
       long n = std::strtol(a + 7, &end, 10);
@@ -240,30 +303,38 @@ int bench_main(int argc, char** argv,
   // (which consume the finished summaries) run.
   sweep::SweepDriver driver(bench_jobs());
   driver.set_intra_jobs(bench_intra_jobs());
+  driver.set_isolation(iso);
   g_driver = &driver;
   for (const auto& plan : planners()) plan();
   if (driver.size() > 0) {
     auto t0 = std::chrono::steady_clock::now();
+    sweep::install_stop_handlers();
     const auto& results = driver.run();
+    sweep::remove_stop_handlers();
     double secs = std::chrono::duration<double>(
                       std::chrono::steady_clock::now() - t0)
                       .count();
     bool failed = false;
+    std::size_t completed = 0;
     for (std::size_t i = 0; i < results.size(); ++i) {
       if (!results[i].ok) {
-        std::fprintf(stderr, "FATAL: cell %s failed: %s\n",
+        // Under isolation a failed cell is quarantined, not fatal: print its
+        // diagnosis (incl. harvested forensics) and let the grid report.
+        std::fprintf(stderr, "%s: cell %s failed: %s\n",
+                     iso.enabled ? "FAILED" : "FATAL",
                      driver.cell(i).label().c_str(),
                      results[i].error.c_str());
         failed = true;
       } else if (!results[i].summary.verified) {
-        std::fprintf(stderr, "FATAL: cell %s failed verification\n",
+        std::fprintf(stderr, "%s: cell %s failed verification\n",
+                     iso.enabled ? "FAILED" : "FATAL",
                      driver.cell(i).label().c_str());
         failed = true;
       } else {
+        ++completed;
         add_engine_totals(results[i].summary);
       }
     }
-    if (failed) return 1;
     const int intra = sweep::compose_intra_jobs(driver.jobs(),
                                                 driver.intra_jobs());
     std::printf(
@@ -272,12 +343,32 @@ int bench_main(int argc, char** argv,
     if (const sweep::ResultCache* cache = sweep::shared_cache()) {
       sweep::CacheStats cs = cache->stats();
       std::printf("cache: %llu hit(s), %llu miss(es), %llu store(s), "
-                  "%llu skip(s)  [%s]\n",
+                  "%llu skip(s), %llu store error(s)  [%s]\n",
                   static_cast<unsigned long long>(cs.hits),
                   static_cast<unsigned long long>(cs.misses),
                   static_cast<unsigned long long>(cs.stores),
                   static_cast<unsigned long long>(cs.skips),
+                  static_cast<unsigned long long>(cs.store_errors),
                   cache->dir().c_str());
+    }
+    if (sweep::stop_requested()) {
+      std::fprintf(stderr,
+                   "sweep interrupted by signal %d — %zu/%zu cells "
+                   "completed (completed results are cached; re-run to "
+                   "resume)\n",
+                   sweep::stop_signal(), completed, results.size());
+      return 128 + sweep::stop_signal();
+    }
+    if (failed) {
+      if (iso.enabled) {
+        std::fprintf(stderr,
+                     "sweep: %zu/%zu cells completed; failed cells were "
+                     "quarantined (completed results are cached; re-run "
+                     "re-executes only the failures). Skipping benchmark "
+                     "bodies.\n",
+                     completed, results.size());
+      }
+      return 1;
     }
   }
 

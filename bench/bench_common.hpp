@@ -52,6 +52,14 @@ class CellRef {
   CellRef() = default;
   const core::RunSummary& summary() const;
 
+  /// True when the cell completed. Under --isolate a failed (crashed, timed
+  /// out, quarantined) cell leaves the grid running; failure-aware folds
+  /// check ok() and mark the table row failed instead of calling summary()
+  /// (which aborts on a failed cell).
+  bool ok() const;
+  /// Failure diagnosis (error text + harvested forensics tail), "" when ok.
+  const std::string& error() const;
+
  private:
   friend CellRef submit(const std::string&, SystemKind, const SimOptions&);
   explicit CellRef(std::size_t index) : index_(index) {}
@@ -79,6 +87,12 @@ class Table {
   Table(std::string title, std::vector<std::string> columns);
 
   void set(const std::string& row, const std::string& column, double value);
+
+  /// Marks one cell failed: renders as "failed" in print() and to_csv()
+  /// (and never as a silent zero). Used by failure-aware folds under
+  /// --isolate so a partially failed grid still produces its table.
+  void set_failed(const std::string& row, const std::string& column);
+
   void print() const;
 
   /// CSV rendering of the same table (header row, then one line per row).
@@ -92,6 +106,7 @@ class Table {
   std::vector<std::string> columns_;
   std::vector<std::string> row_order_;
   std::map<std::string, std::map<std::string, double>> cells_;
+  std::map<std::string, std::map<std::string, bool>> failed_;
   mutable std::mutex mutex_;
 };
 
@@ -108,6 +123,13 @@ class Table {
 /// NETCACHE_SWEEP_CACHE environment variable); `--no-cache` disables it.
 /// When caching is active, a hit/miss/store/skip line follows the sweep
 /// summary.
+/// `--isolate` (or NETCACHE_SWEEP_ISOLATE=1) runs every cell in its own
+/// supervised child process (`--cell-timeout=S`, `--cell-retries=N`,
+/// `--forensics=DIR` tune it): a crashed or hung cell is quarantined with
+/// its forensics printed, the healthy cells complete (and land in the
+/// cache, so a re-run resumes), and the binary exits nonzero without
+/// running the benchmark bodies. SIGINT/SIGTERM stop the sweep gracefully
+/// with a partial-grid summary and exit 128+signal.
 int bench_main(int argc, char** argv,
                const std::vector<const Table*>& tables);
 

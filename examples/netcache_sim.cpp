@@ -22,7 +22,9 @@
 #include "src/common/sim_error.hpp"
 #include "src/core/machine.hpp"
 #include "src/core/report.hpp"
+#include "src/faults/faults.hpp"
 #include "src/sweep/result_cache.hpp"
+#include "src/sweep/supervisor.hpp"
 #include "src/sweep/sweep.hpp"
 
 using namespace netcache;
@@ -52,9 +54,14 @@ struct Options {
   bool no_cache = false;
   bool verify = false;
   std::string faults;
+  std::string fault_apps;  // empty = every cell gets the fault spec
   bool fault_seed_set = false;
   std::uint64_t fault_seed = 0;
   bool fault_recovery = true;
+  bool isolate = false;
+  double cell_timeout = -1;  // < 0 = IsolationOptions default
+  int cell_retries = -1;     // < 0 = IsolationOptions default
+  std::string forensics_dir;
 };
 
 void usage() {
@@ -94,11 +101,26 @@ void usage() {
       "  --faults=SPEC      deterministic fault injection; comma list of\n"
       "                     kind:count[@duration] with kinds drop-update |\n"
       "                     corrupt-update | ring-slot | drop-invalidate |\n"
-      "                     outage | stall (e.g. drop-update:2,outage:1@500)\n"
+      "                     crash | hang | outage | stall\n"
+      "                     (e.g. drop-update:2,outage:1@500); crash/hang\n"
+      "                     take down the host process and need --isolate\n"
+      "  --fault-apps=LIST  apply --faults only to cells of these apps\n"
+      "                     (mixed healthy/poisoned grids; default: all)\n"
       "  --fault-seed=N     seed deriving the fault schedule (default fixed;\n"
       "                     same seed => same schedule at any --jobs)\n"
       "  --no-fault-recovery  leave injected faults unrepaired; requires\n"
-      "                     --verify so every fault is caught, never silent\n");
+      "                     --verify so every fault is caught, never silent\n"
+      "  --isolate          run every cell in its own supervised child\n"
+      "                     process: crashes and livelocks are contained,\n"
+      "                     the rest of the grid completes, and a re-run\n"
+      "                     re-executes only the failed cells (also:\n"
+      "                     NETCACHE_SWEEP_ISOLATE=1)\n"
+      "  --cell-timeout=S   wall-clock seconds per supervised cell attempt\n"
+      "                     before SIGKILL (default 900; 0 = none)\n"
+      "  --cell-retries=N   re-runs after a transient process failure,\n"
+      "                     exponential backoff (default 1)\n"
+      "  --forensics=DIR    write one file per failed supervised attempt\n"
+      "                     (exit status + captured stderr) under DIR\n");
 }
 
 bool parse_flag(const char* arg, const char* name, std::string* out) {
@@ -143,6 +165,11 @@ bool parse(int argc, char** argv, Options* opt) {
     if (parse_flag(a, "--cache", &v)) { opt->cache_dir = v; continue; }
     if (std::strcmp(a, "--verify") == 0) { opt->verify = true; continue; }
     if (std::strcmp(a, "--no-fault-recovery") == 0) { opt->fault_recovery = false; continue; }
+    if (std::strcmp(a, "--isolate") == 0) { opt->isolate = true; continue; }
+    if (parse_flag(a, "--cell-timeout", &v)) { opt->cell_timeout = parse_double("cell-timeout", v); continue; }
+    if (parse_flag(a, "--cell-retries", &v)) { opt->cell_retries = static_cast<int>(parse_int("cell-retries", v)); continue; }
+    if (parse_flag(a, "--forensics", &v)) { opt->forensics_dir = v; continue; }
+    if (parse_flag(a, "--fault-apps", &v)) { opt->fault_apps = v; continue; }
     if (parse_flag(a, "--faults", &v)) { opt->faults = v; continue; }
     if (parse_flag(a, "--fault-seed", &v)) {
       opt->fault_seed = static_cast<std::uint64_t>(parse_int("fault-seed", v));
@@ -220,7 +247,19 @@ std::vector<SystemKind> system_list(const std::string& v) {
   return out;
 }
 
-void apply_knobs(const Options& opt, MachineConfig* config) {
+// True when `app` is subject to --faults: every app unless --fault-apps
+// narrows the blast radius to a named subset (mixed healthy/poisoned grids
+// are how the supervisor's partial-completion behavior is exercised).
+bool app_faulted(const Options& opt, const std::string& app) {
+  if (opt.fault_apps.empty()) return true;
+  for (const auto& name : split_list(opt.fault_apps)) {
+    if (name == app) return true;
+  }
+  return false;
+}
+
+void apply_knobs(const Options& opt, MachineConfig* config,
+                 const std::string& app) {
   config->nodes = opt.nodes;
   config->l2.size_bytes = opt.l2_kb * 1024;
   config->ring.channels = opt.channels;
@@ -232,9 +271,35 @@ void apply_knobs(const Options& opt, MachineConfig* config) {
   config->reads_start_on_star = !opt.ring_only_reads;
   config->verify = config->verify || opt.verify;
   if (opt.intra_jobs > 0) config->intra_jobs = opt.intra_jobs;
-  config->faults.spec = opt.faults;
+  config->faults.spec = app_faulted(opt, app) ? opt.faults : "";
   if (opt.fault_seed_set) config->faults.seed = opt.fault_seed;
   config->faults.recovery = opt.fault_recovery;
+}
+
+sweep::IsolationOptions isolation_options(const Options& opt) {
+  sweep::IsolationOptions iso = sweep::default_isolation();
+  if (opt.isolate) iso.enabled = true;
+  if (opt.cell_timeout >= 0) iso.cell_timeout_s = opt.cell_timeout;
+  if (opt.cell_retries >= 0) iso.cell_retries = opt.cell_retries;
+  if (!opt.forensics_dir.empty()) iso.forensics_dir = opt.forensics_dir;
+  return iso;
+}
+
+// Cache traffic summary (printed when a cache is configured): lets a re-run
+// after a partial failure show that healthy cells were hits, and surfaces
+// store errors (read-only/full dir) as logged skips per binary.
+void print_cache_stats() {
+  const sweep::ResultCache* cache = sweep::shared_cache();
+  if (cache == nullptr) return;
+  sweep::CacheStats cs = cache->stats();
+  std::printf("cache: %llu hit(s), %llu miss(es), %llu store(s), "
+              "%llu skip(s), %llu store error(s)  [%s]\n",
+              static_cast<unsigned long long>(cs.hits),
+              static_cast<unsigned long long>(cs.misses),
+              static_cast<unsigned long long>(cs.stores),
+              static_cast<unsigned long long>(cs.skips),
+              static_cast<unsigned long long>(cs.store_errors),
+              cache->dir().c_str());
 }
 
 std::unique_ptr<apps::Workload> build_workload(const Options& opt,
@@ -255,48 +320,28 @@ std::unique_ptr<apps::Workload> build_workload(const Options& opt,
 
 // The original single-machine path: build, run, print (optionally the full
 // per-node report, which needs the live machine's stats).
-int run_single(const Options& opt, const std::string& app, SystemKind kind) {
-  if (opt.report) {
-    // The per-node report reads the live machine's stats, which the result
-    // cache does not (and should not) memoize: always simulate.
-    MachineConfig config;
-    config.system = kind;
-    apply_knobs(opt, &config);
-    core::Machine machine(config);
-    auto workload = build_workload(opt, app);
-    auto summary = machine.run(*workload);
-    std::printf("%s", core::detailed_report(config, machine.stats(),
-                                            summary).c_str());
-    return summary.verified ? 0 : 1;
-  }
-  // Summary-only single cell: go through run_cell so the result cache (if
-  // configured) can serve or memoize it like any sweep cell.
-  sweep::Cell cell;
-  cell.app = app;
-  cell.system = kind;
-  cell.nodes = opt.nodes;
-  cell.scale = opt.scale;
-  cell.paper_size = opt.paper_size;
-  cell.tweak = [opt](MachineConfig& config) { apply_knobs(opt, &config); };
-  if (!opt.trace_path.empty() || !opt.synthetic.empty()) {
-    Options o = opt;
-    cell.make_workload = [o, app] { return build_workload(o, app); };
-  }
-  sweep::CellResult r = sweep::run_cell(cell);
-  if (!r.ok) {
-    std::fprintf(stderr, "%s: FAILED: %s\n", cell.label().c_str(),
-                 r.error.c_str());
-    return 1;
-  }
-  std::printf("%s\n", core::format_summary(r.summary).c_str());
-  return r.summary.verified ? 0 : 1;
+int run_report(const Options& opt, const std::string& app, SystemKind kind) {
+  // The per-node report reads the live machine's stats, which the result
+  // cache does not (and should not) memoize: always simulate, in-process.
+  MachineConfig config;
+  config.system = kind;
+  apply_knobs(opt, &config, app);
+  core::Machine machine(config);
+  auto workload = build_workload(opt, app);
+  auto summary = machine.run(*workload);
+  std::printf("%s", core::detailed_report(config, machine.stats(),
+                                          summary).c_str());
+  return summary.verified ? 0 : 1;
 }
 
-// Multi-cell path: every (app, system) pair becomes one sweep cell; results
-// print in submission order, so the output is independent of --jobs.
+// Every (app, system) pair becomes one sweep cell — including the
+// single-cell case, so --isolate and the result cache apply uniformly.
+// Results print in submission order, so the output is independent of --jobs.
 int run_sweep(const Options& opt, const std::vector<std::string>& app_names,
               const std::vector<SystemKind>& kinds) {
   sweep::SweepDriver driver(opt.jobs);
+  driver.set_isolation(isolation_options(opt));
+  const bool single = app_names.size() * kinds.size() == 1;
   for (const auto& app : app_names) {
     for (SystemKind kind : kinds) {
       sweep::Cell cell;
@@ -305,7 +350,9 @@ int run_sweep(const Options& opt, const std::vector<std::string>& app_names,
       cell.nodes = opt.nodes;
       cell.scale = opt.scale;
       cell.paper_size = opt.paper_size;
-      cell.tweak = [opt](MachineConfig& config) { apply_knobs(opt, &config); };
+      cell.tweak = [opt, app](MachineConfig& config) {
+        apply_knobs(opt, &config, app);
+      };
       if (!opt.trace_path.empty() || !opt.synthetic.empty()) {
         Options o = opt;
         cell.make_workload = [o, app] { return build_workload(o, app); };
@@ -313,8 +360,13 @@ int run_sweep(const Options& opt, const std::vector<std::string>& app_names,
       driver.submit(std::move(cell));
     }
   }
+  // Graceful SIGINT/SIGTERM: stop dispatching, reap children, report the
+  // partial grid, exit 128+signal. Completed cells are already cached.
+  sweep::install_stop_handlers();
   const auto& results = driver.run();
+  sweep::remove_stop_handlers();
   int rc = 0;
+  std::size_t completed = 0;
   for (std::size_t i = 0; i < results.size(); ++i) {
     const std::string label = driver.cell(i).label();
     if (!results[i].ok) {
@@ -323,9 +375,23 @@ int run_sweep(const Options& opt, const std::vector<std::string>& app_names,
       rc = 1;
       continue;
     }
-    std::printf("%-24s %s\n", label.c_str(),
-                core::format_summary(results[i].summary).c_str());
+    ++completed;
+    if (single) {
+      std::printf("%s\n", core::format_summary(results[i].summary).c_str());
+    } else {
+      std::printf("%-24s %s\n", label.c_str(),
+                  core::format_summary(results[i].summary).c_str());
+    }
     if (!results[i].summary.verified) rc = 1;
+  }
+  print_cache_stats();
+  if (sweep::stop_requested()) {
+    std::fprintf(stderr,
+                 "netcache_sim: interrupted by signal %d — %zu/%zu cells "
+                 "completed (completed results are cached; re-run to "
+                 "resume)\n",
+                 sweep::stop_signal(), completed, results.size());
+    return 128 + sweep::stop_signal();
   }
   return rc;
 }
@@ -347,6 +413,16 @@ int main(int argc, char** argv) try {
     sweep::configure_shared_cache(opt.cache_dir);
   }
 
+  // Process-level faults are rejected outside the supervised mode the same
+  // way --no-fault-recovery is rejected without --verify: there must be no
+  // configuration whose *expected* behavior is an undiagnosed dead binary.
+  if (!opt.isolate && faults::spec_has_process_faults(opt.faults)) {
+    throw ConfigError("faults", opt.faults,
+                      "crash/hang faults take down the host process; run "
+                      "them under --isolate so the supervisor contains the "
+                      "failure");
+  }
+
   std::vector<std::string> app_names =
       opt.app == "all" ? apps::workload_names() : split_list(opt.app);
   std::vector<SystemKind> kinds = system_list(opt.system);
@@ -355,13 +431,19 @@ int main(int argc, char** argv) try {
                       "expected at least one value");
   }
 
-  if (app_names.size() * kinds.size() == 1) {
-    return run_single(opt, app_names[0], kinds[0]);
-  }
   if (opt.report) {
-    std::fprintf(stderr,
-                 "netcache_sim: --report needs a single app/system cell\n");
-    return 1;
+    if (app_names.size() * kinds.size() != 1) {
+      std::fprintf(stderr,
+                   "netcache_sim: --report needs a single app/system cell\n");
+      return 1;
+    }
+    if (opt.isolate) {
+      std::fprintf(stderr,
+                   "netcache_sim: --report reads the live in-process "
+                   "machine and cannot cross the --isolate boundary\n");
+      return 1;
+    }
+    return run_report(opt, app_names[0], kinds[0]);
   }
   return run_sweep(opt, app_names, kinds);
 } catch (const netcache::SimError& e) {

@@ -33,6 +33,8 @@ bool parse_kind(const std::string& name, FaultKind& out) {
   else if (name == "corrupt-update") out = FaultKind::kCorruptUpdate;
   else if (name == "ring-slot") out = FaultKind::kRingSlot;
   else if (name == "drop-invalidate") out = FaultKind::kDropInvalidate;
+  else if (name == "crash") out = FaultKind::kCrash;
+  else if (name == "hang") out = FaultKind::kHang;
   else if (name == "outage") out = FaultKind::kOutage;
   else if (name == "stall") out = FaultKind::kStall;
   else return false;
@@ -72,7 +74,7 @@ std::vector<SpecItem> parse_spec(const std::string& spec) {
     if (!parse_kind(name, item.kind)) {
       reject(spec, "unknown fault kind '" + name +
                        "' (want drop-update, corrupt-update, ring-slot, "
-                       "drop-invalidate, outage, or stall)");
+                       "drop-invalidate, crash, hang, outage, or stall)");
     }
     std::string count_text = token.substr(colon + 1);
     const std::size_t at = count_text.find('@');
@@ -107,6 +109,8 @@ const char* to_string(FaultKind kind) {
     case FaultKind::kCorruptUpdate: return "corrupt-update";
     case FaultKind::kRingSlot: return "ring-slot";
     case FaultKind::kDropInvalidate: return "drop-invalidate";
+    case FaultKind::kCrash: return "crash";
+    case FaultKind::kHang: return "hang";
     case FaultKind::kOutage: return "outage";
     case FaultKind::kStall: return "stall";
   }
@@ -142,11 +146,23 @@ void validate_spec(const MachineConfig& config) {
                      " faults need an update protocol, not system=DMON-I");
         }
         break;
+      case FaultKind::kCrash:
+      case FaultKind::kHang:
       case FaultKind::kOutage:
       case FaultKind::kStall:
         break;
     }
   }
+}
+
+bool spec_has_process_faults(const std::string& spec) {
+  if (spec.empty()) return false;
+  for (const SpecItem& item : parse_spec(spec)) {
+    if (item.kind == FaultKind::kCrash || item.kind == FaultKind::kHang) {
+      return true;
+    }
+  }
+  return false;
 }
 
 FaultPlan::FaultPlan(const MachineConfig& config, sim::Engine& engine)
@@ -176,7 +192,7 @@ FaultPlan::FaultPlan(const MachineConfig& config, sim::Engine& engine)
 
 bool FaultPlan::armed(FaultKind kind, Cycles now) const {
   const int k = static_cast<int>(kind);
-  NC_ASSERT(k < 4, "window faults have no arm queue");
+  NC_ASSERT(k < kDirect, "window faults have no arm queue");
   const auto& q = arm_times_[k];
   return cursor_[k] < q.size() && q[cursor_[k]] <= now;
 }
@@ -244,7 +260,37 @@ sim::Task<void> FaultPlan::reinvalidate(core::Node& victim, Addr block_base) {
   ++stats_.recovered;
 }
 
-sim::Task<void> FaultPlan::outage_gate(NodeId src) {
+void FaultPlan::crash_now(NodeId src) {
+  consume(FaultKind::kCrash);
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "scheduled crash fault fired (node %d, t=%lld): simulated "
+                "hard host-process failure",
+                src, static_cast<long long>(engine_->now()));
+  nc_assert_fail(__FILE__, __LINE__, "fault-crash", buf);
+}
+
+sim::Task<void> FaultPlan::hang_heartbeat(NodeId src) {
+  // Keeps the event queue non-empty and virtual time advancing while the
+  // victim transaction is parked: the deadlock diagnosis never sees a
+  // drained queue and max_stalled_events never sees a same-cycle burst, so
+  // the run is a true livelock — only max_cycles/max_events budgets or the
+  // supervisor's wall-clock SIGKILL end it.
+  for (;;) {
+    co_await engine_->delay(
+        1024, sim::make_trace_tag(src, sim::TraceTagKind::kFault));
+  }
+}
+
+sim::Task<void> FaultPlan::transaction_gate(NodeId src) {
+  if (armed(FaultKind::kCrash, engine_->now())) crash_now(src);
+  if (armed(FaultKind::kHang, engine_->now())) {
+    consume(FaultKind::kHang);
+    ++stats_.unrecovered;
+    engine_->spawn(hang_heartbeat(src));
+    co_await black_hole_.wait(*engine_, sim::WaiterTag{src, "fault-hang"});
+    co_return;
+  }
   if (!channel_down(engine_->now())) co_return;
   if (!recovery()) {
     // The transaction vanishes into the dead channel. The queue eventually

@@ -11,6 +11,13 @@
 //   drop-invalidate  a sharer is skipped in an I-SPEED invalidation loop
 //   outage           the coherence channel is down for a window of pcycles
 //   stall            one node's memory module is unresponsive for a window
+//   crash            the host process aborts at the scheduled commit point
+//   hang             a transaction parks forever while virtual time advances
+//
+// crash/hang are *process-level* faults: deterministic prey for the sweep
+// supervisor (src/sweep/supervisor.*). They take down or livelock the host
+// process by design, so the CLI rejects them outside --isolate the same way
+// --no-fault-recovery is rejected without --verify.
 //
 // With recovery on (the default), each site runs its matching recovery path:
 // retransmit the missed update/invalidation after a backoff, scrub and
@@ -41,15 +48,25 @@ class Node;
 namespace netcache::faults {
 
 enum class FaultKind {
+  // Direct (single-event) kinds — contiguous from 0, see FaultPlan::kDirect.
   kDropUpdate,
   kCorruptUpdate,
   kRingSlot,
   kDropInvalidate,
+  kCrash,
+  kHang,
+  // Window kinds.
   kOutage,
   kStall,
 };
 
 const char* to_string(FaultKind kind);
+
+/// True when `spec` schedules at least one process-level fault (crash/hang).
+/// Parses the spec, so malformed input throws the same ConfigError that
+/// validate_spec would. Used by CLIs to reject process faults outside the
+/// supervised --isolate mode.
+bool spec_has_process_faults(const std::string& spec);
 
 /// Parses config.faults.spec and checks every item applies to config.system
 /// (ring-slot needs the NetCache shared cache, drop-invalidate needs the
@@ -79,12 +96,24 @@ class FaultPlan {
   /// True while a stall window whose victim is `node` covers `now`.
   bool node_stalled(NodeId node, Cycles now);
 
-  /// Awaited at the head of every coherence transaction. No-op outside an
-  /// outage window. Inside one: with recovery, backoff-retries until the
-  /// channel returns (bounded by the retry budget, diagnosed abort beyond
-  /// it); without recovery, parks forever on a black-hole wait list so the
-  /// drained event queue produces a deadlock report naming the outage.
-  sim::Task<void> outage_gate(NodeId src);
+  /// Awaited at the head of every coherence transaction; hosts the faults
+  /// that must be able to strike any transaction on any system:
+  ///
+  ///  - crash: consumes the instance and routes a "fault-crash" message
+  ///    through nc_assert_fail, so the FailureReporter prints the engine
+  ///    state + blocked-waiter table + trace tail to stderr before abort —
+  ///    exactly the forensics the sweep supervisor harvests.
+  ///  - hang: parks the transaction on the never-notified black-hole wait
+  ///    list *and* spawns a heartbeat that keeps virtual time advancing, so
+  ///    neither the deadlock diagnosis (queue never drains) nor the
+  ///    max_stalled_events heuristic (time keeps moving) fires: a genuine
+  ///    livelock that only a wall-clock timeout (SIGKILL) stops.
+  ///  - outage: no-op outside a window. Inside one: with recovery,
+  ///    backoff-retries until the channel returns (bounded by the retry
+  ///    budget, diagnosed abort beyond it); without recovery, parks forever
+  ///    on the black-hole list so the drained event queue produces a
+  ///    deadlock report naming the outage.
+  sim::Task<void> transaction_gate(NodeId src);
   /// Same, for a request to `home`'s memory while that node is stalled
   /// (models NACK + retry from an unresponsive memory module).
   sim::Task<void> stall_gate(NodeId requester, NodeId home);
@@ -114,13 +143,18 @@ class FaultPlan {
     bool counted = false;     // injected++ on first observation
   };
 
+  /// Number of direct (non-window) kinds, each with its own arm queue.
+  static constexpr int kDirect = 6;
+
   [[noreturn]] void budget_exhausted(const char* what, NodeId node) const;
+  [[noreturn]] void crash_now(NodeId src);
+  sim::Task<void> hang_heartbeat(NodeId src);
 
   const MachineConfig* config_;
   sim::Engine* engine_;
   // Arm times per direct kind, ascending; cursor marks consumed prefix.
-  std::vector<Cycles> arm_times_[4];
-  std::size_t cursor_[4] = {0, 0, 0, 0};
+  std::vector<Cycles> arm_times_[kDirect];
+  std::size_t cursor_[kDirect] = {};
   std::vector<Window> outages_;
   std::vector<Window> stalls_;
   sim::WaitList black_hole_{"FaultBlackHole"};

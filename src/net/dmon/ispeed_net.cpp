@@ -88,7 +88,7 @@ sim::Task<void> ISpeedNet::drain_write(NodeId src,
 
   // Acquire ownership: broadcast an invalidation (Table 3 DMON-I column).
   ++st.ownership_requests;
-  if (faults_ != nullptr) co_await faults_->outage_gate(src);
+  if (faults_ != nullptr) co_await faults_->transaction_gate(src);
   co_await eng.delay(lat_->l2_tag_check + lat_->ispeed_write_to_ni);
   co_await fabric_.broadcast(src, 0, lat_->invalidate_message);
   if (oracle_ != nullptr) oracle_->on_invalidate_broadcast(block);

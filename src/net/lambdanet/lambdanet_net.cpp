@@ -45,7 +45,7 @@ sim::Task<void> LambdaNetNet::drain_write(NodeId src,
   ++st.updates_sent;
   st.update_words += static_cast<std::uint64_t>(words);
 
-  if (faults_ != nullptr) co_await faults_->outage_gate(src);
+  if (faults_ != nullptr) co_await faults_->transaction_gate(src);
   co_await eng.delay(lat_->l2_tag_check + lat_->write_to_ni);
   co_await channels_[static_cast<std::size_t>(src)]->use(
       lat_->update_message(words, false));

@@ -144,7 +144,7 @@ sim::Task<void> NetCacheNet::drain_write(NodeId src,
   ++st.updates_sent;
   st.update_words += static_cast<std::uint64_t>(words);
 
-  if (faults_ != nullptr) co_await faults_->outage_gate(src);
+  if (faults_ != nullptr) co_await faults_->transaction_gate(src);
   co_await eng.delay(lat_->l2_tag_check + lat_->write_to_ni);
   int ch = coherence_channel_of(src);
   co_await coherence_channels_[static_cast<std::size_t>(ch)]->transmit(

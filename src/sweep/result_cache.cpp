@@ -306,7 +306,15 @@ void ResultCache::store(const Cell& cell, const core::RunSummary& summary) {
   const std::string temp = entry_path(key) + suffix;
 
   auto fail = [&] {
-    store_errors_.fetch_add(1, std::memory_order_relaxed);
+    // Logged skip, never an error: a read-only or full cache directory
+    // degrades to "no memoization" (one warning per cache, counter in
+    // stats().store_errors), the sweep itself is unaffected.
+    if (store_errors_.fetch_add(1, std::memory_order_relaxed) == 0) {
+      std::fprintf(stderr,
+                   "result cache: store failed under %s (read-only or full?) "
+                   "— continuing without memoization\n",
+                   dir_.c_str());
+    }
     std::remove(temp.c_str());
   };
   std::FILE* f = std::fopen(temp.c_str(), "wb");

@@ -11,6 +11,7 @@
 #include "src/common/nc_assert.hpp"
 #include "src/core/machine.hpp"
 #include "src/sweep/result_cache.hpp"
+#include "src/sweep/supervisor.hpp"
 
 namespace netcache::sweep {
 
@@ -127,7 +128,10 @@ void run_tasks(int jobs, std::vector<std::function<void()>>& tasks) {
   if (tasks.empty()) return;
   if (jobs <= 0) jobs = default_jobs();
   if (jobs == 1) {
-    for (auto& task : tasks) task();
+    for (auto& task : tasks) {
+      if (stop_requested()) return;
+      task();
+    }
     return;
   }
   const int workers =
@@ -142,6 +146,10 @@ void run_tasks(int jobs, std::vector<std::function<void()>>& tasks) {
   auto worker_loop = [&](int me) {
     std::size_t idx;
     for (;;) {
+      // Graceful stop: drop the remaining queue on the floor. Whoever
+      // installed the handlers (bench_main, netcache_sim) marks un-run cells
+      // and prints the partial-grid summary.
+      if (stop_requested()) return;
       if (queues[static_cast<std::size_t>(me)].pop_front(&idx)) {
         tasks[idx]();
         continue;
@@ -171,7 +179,8 @@ void run_tasks(int jobs, std::vector<std::function<void()>>& tasks) {
 }
 
 SweepDriver::SweepDriver(int jobs)
-    : jobs_(jobs <= 0 ? default_jobs() : jobs) {}
+    : jobs_(jobs <= 0 ? default_jobs() : jobs),
+      isolation_(default_isolation()) {}
 
 std::size_t SweepDriver::submit(Cell cell) {
   NC_ASSERT(!ran_, "SweepDriver::submit after run");
@@ -194,13 +203,32 @@ const std::vector<CellResult>& SweepDriver::run() {
       if (cell.intra_jobs == 0) cell.intra_jobs = intra;
     }
   }
+  ResultCache* cache = cache_overridden_ ? explicit_cache_ : shared_cache();
+  if (isolation_.enabled) {
+    results_ = run_supervised(cells_, jobs_, isolation_, cache);
+    return results_;
+  }
   results_.resize(cells_.size());
+  // done[] lets an interrupted run (stop_requested) distinguish "never
+  // dispatched" from "completed": run_tasks drops queued tasks on stop.
+  std::vector<std::atomic<bool>> done(cells_.size());
   std::vector<std::function<void()>> tasks;
   tasks.reserve(cells_.size());
   for (std::size_t i = 0; i < cells_.size(); ++i) {
-    tasks.push_back([this, i] { results_[i] = run_cell(cells_[i]); });
+    tasks.push_back([this, i, cache, &done] {
+      results_[i] = run_cell(cells_[i], cache);
+      done[i].store(true, std::memory_order_release);
+    });
   }
   run_tasks(jobs_, tasks);
+  if (stop_requested()) {
+    for (std::size_t i = 0; i < cells_.size(); ++i) {
+      if (!done[i].load(std::memory_order_acquire)) {
+        results_[i].ok = false;
+        results_[i].error = "interrupted: stopped before dispatch";
+      }
+    }
+  }
   return results_;
 }
 

@@ -20,6 +20,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/common/config.hpp"
@@ -59,6 +60,24 @@ struct Cell {
   std::string label() const;
 };
 
+/// Crash forensics for one supervised cell (see src/sweep/supervisor.*).
+/// Populated only by the process-isolated execution mode; an in-process run
+/// that fails leaves it default-constructed.
+struct FailureRecord {
+  /// Child processes launched for this cell (1 = no retries were needed).
+  int attempts = 0;
+  /// The last attempt outlived the per-cell wall-clock budget and was
+  /// SIGKILLed by the supervisor.
+  bool timed_out = false;
+  /// The last attempt died on a signal (term_signal) rather than exiting.
+  bool signaled = false;
+  int term_signal = 0;
+  int exit_code = 0;
+  /// Tail of the child's stderr: the FailureReporter forensics (NC_ASSERT
+  /// message, engine state, blocked-waiter table, trace tail) for crashes.
+  std::string stderr_tail;
+};
+
 /// Outcome of one cell. When the run throws (deadlock diagnosis, watchdog
 /// trip, bad configuration), `ok` is false, `error` holds the SimError text,
 /// and `summary` is default-constructed.
@@ -69,7 +88,35 @@ struct CellResult {
   /// the run it memoizes) instead of being simulated in this process.
   bool from_cache = false;
   std::string error;
+  /// Supervised-mode forensics; attempts == 0 means the cell never ran under
+  /// a supervisor (in-process execution, or a cache hit).
+  FailureRecord failure;
 };
+
+/// Knobs for the opt-in process-isolated execution mode (--isolate /
+/// NETCACHE_SWEEP_ISOLATE=1): each cell attempt runs in a forked child, so a
+/// crashing or livelocked cell is contained and the grid completes.
+struct IsolationOptions {
+  bool enabled = false;
+  /// Wall-clock budget per attempt in seconds; expiry SIGKILLs the child and
+  /// counts as a transient (retryable) failure. 0 disables the timeout.
+  double cell_timeout_s = 900.0;
+  /// Re-runs of a cell after a process-level failure (crash signal, nonzero
+  /// exit, garbled result frame, timeout). In-band diagnosed failures (the
+  /// child caught a SimError and reported it over the pipe) are
+  /// deterministic and never retried.
+  int cell_retries = 1;
+  /// Delay before the first retry; doubles on each subsequent one.
+  double backoff_s = 0.25;
+  /// When non-empty, one forensics file per failed attempt is written here
+  /// (exit status + full captured stderr).
+  std::string forensics_dir;
+};
+
+/// Environment-derived defaults (read once per call): NETCACHE_SWEEP_ISOLATE
+/// (=1 enables), NETCACHE_CELL_TIMEOUT (seconds), NETCACHE_CELL_RETRIES,
+/// NETCACHE_CELL_BACKOFF (seconds), NETCACHE_FORENSICS_DIR.
+IsolationOptions default_isolation();
 
 class ResultCache;
 
@@ -124,6 +171,18 @@ class SweepDriver {
   void set_intra_jobs(int intra) { intra_jobs_ = intra < 0 ? 0 : intra; }
   int intra_jobs() const { return intra_jobs_; }
 
+  /// Selects the execution mode for run(). Defaults to default_isolation()
+  /// (NETCACHE_SWEEP_ISOLATE & friends); call before run() to override.
+  void set_isolation(IsolationOptions opts) { isolation_ = std::move(opts); }
+  const IsolationOptions& isolation() const { return isolation_; }
+
+  /// Overrides the result cache consulted by run() (default: the process-
+  /// wide shared_cache()). nullptr = always simulate, never store.
+  void set_result_cache(ResultCache* cache) {
+    explicit_cache_ = cache;
+    cache_overridden_ = true;
+  }
+
   /// Runs every submitted cell; call once, after all submissions.
   const std::vector<CellResult>& run();
 
@@ -142,6 +201,9 @@ class SweepDriver {
   int jobs_;
   int intra_jobs_ = 0;  // 0 = cells inherit config/env defaults
   bool ran_ = false;
+  IsolationOptions isolation_;
+  ResultCache* explicit_cache_ = nullptr;
+  bool cache_overridden_ = false;
   std::vector<Cell> cells_;
   std::vector<CellResult> results_;
 };

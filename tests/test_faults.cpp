@@ -10,6 +10,7 @@
 
 #include "src/apps/workload.hpp"
 #include "src/common/config.hpp"
+#include "src/faults/faults.hpp"
 #include "src/common/sim_error.hpp"
 #include "src/core/machine.hpp"
 #include "src/core/run_summary.hpp"
@@ -211,6 +212,56 @@ TEST(FaultNoRecovery, StallWithoutRecoveryDeadlocksWithDiagnosis) {
   std::string report = diagnose([&] { run_app(cfg, "gauss"); });
   EXPECT_NE(report.find("FaultBlackHole"), std::string::npos) << report;
   EXPECT_NE(report.find("fault-stall"), std::string::npos) << report;
+}
+
+// --- Process faults (crash/hang) ------------------------------------------
+// These take down the host process by design; the sweep supervisor contains
+// them (test_supervisor). Here: the in-process behavior is exactly what the
+// supervisor relies on — crash aborts with forensics on stderr, hang is a
+// true livelock that only a budget (or the supervisor's wall clock) ends.
+
+TEST(FaultProcessDeath, CrashFaultAbortsWithForensicsOnStderr) {
+  MachineConfig cfg = config_for(SystemKind::kNetCache, "crash:1");
+  EXPECT_DEATH(run_app(cfg, "gauss"), "fault-crash");
+}
+
+TEST(FaultProcess, HangFaultLivelocksUntilTheCycleBudget) {
+  // The hang parks a transaction on the black hole *and* keeps a heartbeat
+  // event circulating, so neither the deadlock diagnosis nor the stall
+  // heuristic fires — only the virtual-time budget ends the run, and the
+  // blocked-waiter table in the report names the parked fault.
+  MachineConfig cfg = config_for(SystemKind::kNetCache, "hang:1");
+  std::string report = diagnose([&] {
+    Machine machine(cfg);
+    apps::WorkloadParams params;
+    params.scale = 0.2;
+    auto workload = apps::make_workload("gauss", params);
+    sim::RunLimits limits;
+    limits.max_cycles = 200000;
+    machine.run(*workload, limits);
+  });
+  EXPECT_NE(report.find("max_cycles"), std::string::npos) << report;
+  EXPECT_NE(report.find("fault-hang"), std::string::npos) << report;
+}
+
+TEST(FaultConfig, ProcessFaultSpecsAreDetected) {
+  EXPECT_TRUE(faults::spec_has_process_faults("crash:1"));
+  EXPECT_TRUE(faults::spec_has_process_faults("hang:2"));
+  EXPECT_TRUE(faults::spec_has_process_faults("drop-update:1,hang:1"));
+  EXPECT_FALSE(faults::spec_has_process_faults("drop-update:1,outage:1@300"));
+  EXPECT_FALSE(faults::spec_has_process_faults(""));
+  EXPECT_THROW(faults::spec_has_process_faults("bogus:1"), ConfigError);
+}
+
+TEST(FaultConfig, ProcessFaultsAreValidOnEverySystem) {
+  // crash/hang model host-process failure, not protocol behavior: no
+  // system-applicability rejection, on any interconnect.
+  for (SystemKind kind :
+       {SystemKind::kNetCache, SystemKind::kLambdaNet,
+        SystemKind::kDmonUpdate, SystemKind::kDmonInvalidate}) {
+    MachineConfig cfg = config_for(kind, "crash:1,hang:1");
+    EXPECT_NO_THROW(Machine machine(cfg)) << to_string(kind);
+  }
 }
 
 // --- Configuration validation ---------------------------------------------

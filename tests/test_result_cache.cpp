@@ -6,6 +6,7 @@
 #include "src/sweep/result_cache.hpp"
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstdio>
 #include <filesystem>
@@ -339,6 +340,74 @@ TEST_F(ResultCacheTest, ConcurrentWritersNeverExposeATornEntry) {
     EXPECT_EQ(core::serialize_summary(out),
               core::serialize_summary(summary_for(i)));
   }
+}
+
+TEST_F(ResultCacheTest, UnwritableDirectoryDegradesToLoggedSkipsMidGrid) {
+  // A cache directory that turns unwritable mid-grid (disk full, permissions
+  // yanked, NFS remount) must cost only memoization: stores fail and are
+  // counted, lookups and the sweep itself keep working.
+  sweep::ResultCache cache(dir());
+  sweep::Cell first = fast_cell();
+  sweep::CellResult cold = sweep::run_cell(first, &cache);
+  ASSERT_TRUE(cold.ok) << cold.error;
+  ASSERT_EQ(cache.stats().stores, 1u);
+  ASSERT_EQ(cache.stats().store_errors, 0u);
+
+  // Break the directory out from under the cache. chmod is a no-op for
+  // root (CI containers often are), so replace the directory with a regular
+  // file — every path under it then fails with ENOTDIR for any euid.
+  fs::remove_all(dir());
+  { std::ofstream block(dir(), std::ios::binary); }
+  ASSERT_TRUE(fs::is_regular_file(dir()));
+
+  sweep::Cell second = fast_cell();
+  second.tweak = [](MachineConfig& cfg) { cfg.mem_block_read_cycles = 44; };
+  sweep::CellResult survivor = sweep::run_cell(second, &cache);
+  EXPECT_TRUE(survivor.ok) << survivor.error;
+  EXPECT_FALSE(survivor.from_cache);
+  EXPECT_GE(cache.stats().store_errors, 1u);
+
+  // Direct stores keep degrading to counted errors, never exceptions.
+  core::RunSummary summary;
+  summary.app = "sor";
+  summary.verified = true;
+  cache.store(first, summary);
+  EXPECT_GE(cache.stats().store_errors, 2u);
+
+  // Restore the directory: the cache object recovers without a rebuild.
+  fs::remove(dir());
+  fs::create_directories(dir());
+  sweep::CellResult rewarm = sweep::run_cell(first, &cache);
+  ASSERT_TRUE(rewarm.ok) << rewarm.error;
+  core::RunSummary out;
+  EXPECT_TRUE(cache.lookup(first, &out));
+}
+
+TEST_F(ResultCacheTest, ReadOnlyDirectoryCountsStoreErrorsKeepsHits) {
+  if (::geteuid() == 0) {
+    GTEST_SKIP() << "root ignores directory write permissions";
+  }
+  sweep::ResultCache cache(dir());
+  const sweep::Cell cell = fast_cell();
+  sweep::CellResult cold = sweep::run_cell(cell, &cache);
+  ASSERT_TRUE(cold.ok) << cold.error;
+  ASSERT_EQ(cache.stats().stores, 1u);
+
+  fs::permissions(dir(), fs::perms::owner_read | fs::perms::owner_exec,
+                  fs::perm_options::replace);
+
+  // Existing entries still hit (the directory stays readable) ...
+  core::RunSummary out;
+  EXPECT_TRUE(cache.lookup(cell, &out));
+
+  // ... while new stores degrade to counted errors.
+  sweep::Cell other = fast_cell();
+  other.tweak = [](MachineConfig& cfg) { cfg.mem_block_read_cycles = 44; };
+  sweep::CellResult result = sweep::run_cell(other, &cache);
+  EXPECT_TRUE(result.ok) << result.error;
+  EXPECT_GE(cache.stats().store_errors, 1u);
+
+  fs::permissions(dir(), fs::perms::owner_all, fs::perm_options::replace);
 }
 
 TEST_F(ResultCacheTest, SummarySerializationRoundTripsExactly) {
