@@ -14,7 +14,8 @@
 // identity check runs even on 1-thread hosts; only the timing points are
 // skipped there (same note discipline as the worker section).
 //
-//   ./bench_sweep_scaling [--scale=X] [--jobs=1,4,8,16]
+//   ./bench_sweep_scaling [--scale=X] [--jobs=1,4,8,16] [--intra-nodes=N]
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -98,6 +99,9 @@ struct IntraPoint {
   double seconds = 0.0;
   bool identical = true;
   bool timed = true;  // false: 1-thread host, wall-clock not meaningful
+  /// Parallel-commit phase counters for this run (zero at threads=1).
+  /// Deterministic for a fixed thread count, unlike the wall-clock.
+  core::PdesStats pdes;
 };
 
 /// Full-fidelity identity: the entire serialized summary, wall-clock zeroed
@@ -108,7 +112,7 @@ std::string canonical_summary(core::RunSummary s) {
 }
 
 double run_intra_cell(const sweep::Cell& cell, int threads,
-                      std::string* canonical) {
+                      std::string* canonical, core::PdesStats* pdes) {
   sweep::Cell c = cell;
   c.intra_jobs = threads;
   auto t0 = std::chrono::steady_clock::now();
@@ -123,6 +127,7 @@ double run_intra_cell(const sweep::Cell& cell, int threads,
     std::exit(1);
   }
   *canonical = canonical_summary(r.summary);
+  *pdes = r.summary.pdes;
   return secs;
 }
 
@@ -137,6 +142,7 @@ int main(int argc, char** argv) {
     scale = std::atof(env);
   }
   std::vector<int> jobs_list = {1, 4, 8, 16};
+  int intra_nodes = 256;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--scale=", 8) == 0) {
       scale = std::atof(argv[i] + 8);
@@ -148,14 +154,18 @@ int main(int argc, char** argv) {
         if (!p) break;
         ++p;
       }
+    } else if (std::strncmp(argv[i], "--intra-nodes=", 14) == 0) {
+      intra_nodes = std::atoi(argv[i] + 14);
     } else {
-      std::fprintf(stderr, "usage: %s [--scale=X] [--jobs=1,4,8,16]\n",
+      std::fprintf(stderr,
+                   "usage: %s [--scale=X] [--jobs=1,4,8,16] "
+                   "[--intra-nodes=N]\n",
                    argv[0]);
       return 1;
     }
   }
-  if (scale <= 0 || jobs_list.empty()) {
-    std::fprintf(stderr, "bad --scale or --jobs\n");
+  if (scale <= 0 || jobs_list.empty() || intra_nodes < 1) {
+    std::fprintf(stderr, "bad --scale, --jobs, or --intra-nodes\n");
     return 1;
   }
 
@@ -199,14 +209,22 @@ int main(int argc, char** argv) {
   }
 
   // --- Intra-cell conservative-PDES scaling: one cell, 1/2/4/8 threads. ---
-  // gauss has the longest TDMA frames of the Table 4 apps — the heaviest
-  // single cell in the grid, the one intra-jobs exists to speed up.
+  // gauss has the longest TDMA frames of the Table 4 apps, and the ROADMAP's
+  // success metric is a 256-node-class machine (the largest configurable):
+  // big arcs keep most traffic partition-local, which is what the parallel
+  // commit path exists to exploit.
   sweep::Cell intra_cell;
   intra_cell.app = "gauss";
   intra_cell.system = SystemKind::kNetCache;
   intra_cell.scale = scale;
-  std::printf("intra-jobs scaling: one %s cell\n",
-              intra_cell.label().c_str());
+  intra_cell.nodes = intra_nodes;
+  intra_cell.tweak = [](MachineConfig& cfg) {
+    // The default 128 cache channels must divide evenly among home nodes;
+    // machines past that get one channel per node (same per-node share).
+    if (cfg.nodes > 128) cfg.ring.channels = cfg.nodes;
+  };
+  std::printf("intra-jobs scaling: one %s cell (%d nodes)\n",
+              intra_cell.label().c_str(), intra_nodes);
   const bool skipped_multi_thread = hw <= 1;
   if (skipped_multi_thread) {
     std::printf("  (1 hardware thread: multi-thread points are identity "
@@ -221,7 +239,7 @@ int main(int argc, char** argv) {
     p.threads = threads;
     p.timed = threads == 1 || !skipped_multi_thread;
     std::string canonical;
-    p.seconds = run_intra_cell(intra_cell, threads, &canonical);
+    p.seconds = run_intra_cell(intra_cell, threads, &canonical, &p.pdes);
     if (threads == 1) {
       intra_serial = p.seconds;
       serial_canonical = canonical;
@@ -239,6 +257,14 @@ int main(int argc, char** argv) {
       std::printf("  intra-jobs=%-3d (not timed)  %s\n", threads,
                   p.identical ? "byte-identical to serial"
                               : "RESULTS DIVERGED");
+    }
+    if (p.pdes.threads > 0) {
+      std::printf("    parallel commit: %llu parallel / %llu serial "
+                  "(residual_frac %.4f), %llu batches\n",
+                  static_cast<unsigned long long>(p.pdes.parallel_commits),
+                  static_cast<unsigned long long>(p.pdes.serial_commits),
+                  p.pdes.residual_fraction(),
+                  static_cast<unsigned long long>(p.pdes.parallel_batches));
     }
   }
 
@@ -278,6 +304,7 @@ int main(int argc, char** argv) {
   std::fprintf(f, "  ],\n");
   std::fprintf(f, "  \"intra_jobs\": {\n");
   std::fprintf(f, "    \"cell\": \"%s\",\n", intra_cell.label().c_str());
+  std::fprintf(f, "    \"nodes\": %d,\n", intra_nodes);
   std::fprintf(f, "    \"skipped_multi_thread_timing\": %s,\n",
                skipped_multi_thread ? "true" : "false");
   std::fprintf(f,
@@ -299,6 +326,34 @@ int main(int argc, char** argv) {
                  p.timed && p.seconds > 0 ? intra_serial / p.seconds : 0.0,
                  p.identical ? "true" : "false", p.timed ? "true" : "false",
                  i + 1 < intra_points.size() ? "," : "");
+  }
+  std::fprintf(f, "    ],\n");
+  // Parallel-commit phase counters (DESIGN.md section 13) per partitioned
+  // point. Everything here except the stage/commit wall times is
+  // deterministic for a fixed thread count, so CI can assert thresholds on
+  // residual_frac without flaking.
+  std::fprintf(f, "    \"pdes\": [\n");
+  std::size_t emitted = 0;
+  const std::size_t partitioned =
+      static_cast<std::size_t>(std::count_if(
+          intra_points.begin(), intra_points.end(),
+          [](const IntraPoint& p) { return p.pdes.threads > 0; }));
+  for (const IntraPoint& p : intra_points) {
+    if (p.pdes.threads == 0) continue;
+    std::fprintf(f,
+                 "      {\"threads\": %d, \"parallel_commits\": %llu, "
+                 "\"serial_commits\": %llu, \"parallel_batches\": %llu, "
+                 "\"escaped_continuations\": %llu, "
+                 "\"residual_frac\": %.4f, \"stage_seconds\": %.3f, "
+                 "\"commit_seconds\": %.3f}%s\n",
+                 p.pdes.threads,
+                 static_cast<unsigned long long>(p.pdes.parallel_commits),
+                 static_cast<unsigned long long>(p.pdes.serial_commits),
+                 static_cast<unsigned long long>(p.pdes.parallel_batches),
+                 static_cast<unsigned long long>(p.pdes.escaped_continuations),
+                 p.pdes.residual_fraction(), p.pdes.stage_seconds,
+                 p.pdes.commit_seconds,
+                 ++emitted < partitioned ? "," : "");
   }
   std::fprintf(f, "    ]\n  }\n");
   std::fprintf(f, "}\n");

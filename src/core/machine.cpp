@@ -99,6 +99,9 @@ sim::Task<void> Machine::worker(apps::Workload& workload, NodeId id) {
   co_await workload.run(cpu(id), static_cast<int>(id));
   co_await node(id).fence();
   stats_.node(id).finish_time = engine_.now();
+  // The completion tally and shutdown broadcast below are machine-global;
+  // leave the parallel-commit worker if the fence tail fired on one.
+  co_await engine_.escape();
   if (--workers_remaining_ == 0) {
     for (auto& n : nodes_) n->request_shutdown();
   }
@@ -128,6 +131,28 @@ RunSummary Machine::run(apps::Workload& workload,
     plan.nodes = config_.nodes;
     plan.lookahead = sim::validated_lookahead(interconnect_->lookahead(),
                                               interconnect_->name());
+    // Parallel commit of same-timestamp node-local batches. Gated off when
+    // the oracle or fault plan is live: their hooks mutate global tables
+    // from inside handler bodies, so those runs keep the fully serialized
+    // commit loop (results are bit-identical either way; only wall time
+    // differs). NETCACHE_PARALLEL_COMMIT=0 is the operational kill-switch.
+    plan.parallel_commit = oracle_ == nullptr && faults_ == nullptr;
+    if (const char* env = std::getenv("NETCACHE_PARALLEL_COMMIT")) {
+      if (env[0] == '0' && env[1] == '\0') plan.parallel_commit = false;
+    }
+    // Worker-dispatch threshold (wall-time heuristic only — batch selection,
+    // counters, and results never depend on it). CI's TSan job lowers it to
+    // 1 so even tiny test batches cross threads; setting it explicitly also
+    // overrides the single-hardware-thread fallback, so sanitizer runs on
+    // small containers still drive the real cross-thread path.
+    if (const char* env = std::getenv("NETCACHE_PARALLEL_DISPATCH_MIN")) {
+      char* end = nullptr;
+      long n = std::strtol(env, &end, 10);
+      if (end != env && *end == '\0' && n >= 1 && n <= 1000000) {
+        plan.dispatch_min_batch = static_cast<std::size_t>(n);
+        plan.force_worker_dispatch = true;
+      }
+    }
     engine_.enable_partitions(plan);
   }
   workload.setup(*this);
@@ -166,6 +191,23 @@ RunSummary Machine::run(apps::Workload& workload,
   s.overflow_pushes = engine_.queue_stats().overflow_pushes;
   s.wheel_regrows = engine_.queue_stats().wheel_regrows;
   s.wall_seconds = wall_seconds;
+  if (const sim::PartitionSet* ps = engine_.partitions()) {
+    s.pdes.threads = ps->threads();
+    s.pdes.rounds = ps->rounds();
+    s.pdes.cross_partition_events = ps->cross_partition_events();
+    const sim::PdesCounters& pc = ps->pdes();
+    s.pdes.parallel_commits = pc.parallel_commits;
+    s.pdes.serial_commits = pc.serial_commits;
+    s.pdes.parallel_batches = pc.parallel_batches;
+    s.pdes.dispatched_batches = pc.dispatched_batches;
+    s.pdes.escaped_continuations = pc.escaped_continuations;
+    s.pdes.residual_events = pc.residual_events;
+    s.pdes.lease_handoffs = pc.lease_handoffs;
+    s.pdes.foreign_bank_accesses = pc.foreign_bank_accesses;
+    s.pdes.cross_arc_ring_touches = pc.cross_arc_ring_touches;
+    s.pdes.stage_seconds = pc.stage_seconds;
+    s.pdes.commit_seconds = pc.commit_seconds;
+  }
   s.verify_enabled = config_.verify;
   if (oracle_ != nullptr) s.oracle = oracle_->stats();
   s.faults_enabled = faults_ != nullptr;

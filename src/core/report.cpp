@@ -42,6 +42,9 @@ std::string detailed_report(const MachineConfig& config,
          static_cast<long long>(summary.run_time),
          summary.verified ? "yes" : "NO");
   append(out, "%s\n", format_throughput(summary).c_str());
+  if (summary.pdes.threads > 0) {
+    append(out, "%s\n", format_pdes(summary).c_str());
+  }
 
   append(out, "\n%4s %10s %8s %8s %8s %8s %8s %9s %8s\n", "node", "reads",
          "l1%", "l2%", "miss", "shcHit%", "updates", "syncCyc", "finish");

@@ -56,6 +56,11 @@ sim::Task<core::FetchResult> ISpeedNet::fetch_block(NodeId requester,
 
   // Memory supplies the block. If nobody owned it, the requester becomes
   // the owner with a clean (shared) copy.
+  if (home != requester) {
+    if (sim::PartitionSet* ps = eng.partitions_mut()) {
+      ps->note_bank_access(requester, home);
+    }
+  }
   co_await machine_->node(home).mem().read_block();
   if (home != requester) {
     co_await fabric_.send_block_reply(home, requester);
@@ -137,6 +142,9 @@ sim::Task<void> ISpeedNet::drain_write(NodeId src,
     NodeId home = machine_->address_space().home(block);
     if (faults_ != nullptr && home != src) {
       co_await faults_->stall_gate(src, home);
+    }
+    if (sim::PartitionSet* ps = eng.partitions_mut()) {
+      ps->note_bank_access(src, home);
     }
     co_await machine_->node(home).mem().read_block();
     if (home != src) {

@@ -54,6 +54,9 @@ void deliver_update_broadcast(core::Machine& machine, NodeId src,
 sim::Task<void> home_memory_update(core::Machine& machine, NodeId src,
                                    NodeId home, Addr block_base, int words) {
   sim::Engine& eng = machine.engine();
+  if (sim::PartitionSet* ps = eng.partitions_mut()) {
+    ps->note_bank_access(src, home);
+  }
   verify::CoherenceOracle* oracle = machine.oracle();
   faults::FaultPlan* faults = machine.faults();
 

@@ -11,10 +11,11 @@ Engine::Engine() { FailureReporter::instance().add(this); }
 
 Engine::~Engine() { FailureReporter::instance().remove(this); }
 
-void Engine::spawn(Task<void> t, Cycles delay) {
+void Engine::spawn(Task<void> t, Cycles delay, std::uint16_t tag,
+                   CommitFootprint fp) {
   // Direct-handle scheduling: the detached frame resumes straight from the
   // event record, no closure.
-  schedule_resume(delay, t.release_detached());
+  schedule_resume(delay, t.release_detached(), tag, fp);
 }
 
 Cycles Engine::run(const RunLimits& limits) {
@@ -88,6 +89,19 @@ void Engine::describe_failure_context(std::string& out) const {
                   " cross_partition_events=%" PRIu64 "\n",
                   parts_->threads(), parts_->rounds(),
                   parts_->cross_partition_events());
+    out += line;
+    const PdesCounters& pc = parts_->pdes();
+    std::snprintf(line, sizeof(line),
+                  "pdes commit: parallel=%" PRIu64 " serial=%" PRIu64
+                  " batches=%" PRIu64 " escaped=%" PRIu64 " residual=%" PRIu64
+                  " lease_handoffs=%" PRIu64 "\n",
+                  pc.parallel_commits, pc.serial_commits, pc.parallel_batches,
+                  pc.escaped_continuations, pc.residual_events,
+                  pc.lease_handoffs);
+    out += line;
+    std::snprintf(line, sizeof(line),
+                  "pdes wall: stage=%.6fs commit=%.6fs residual_fraction=%.4f\n",
+                  pc.stage_seconds, pc.commit_seconds, pc.residual_fraction());
     out += line;
   }
   if (!blocked_.empty()) {

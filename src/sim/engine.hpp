@@ -30,12 +30,19 @@ class Engine : public FailureContext {
   /// Schedules `action` (any callable) to run at now() + delay. The callable
   /// is stored inline in the event record; prefer schedule_resume when the
   /// action is just resuming a coroutine. `tag` (make_trace_tag) annotates
-  /// the event in the opt-in trace ring; 0 leaves it untagged.
+  /// the event in the opt-in trace ring; 0 leaves it untagged. `fp` declares
+  /// the commit footprint (event_queue.hpp): kLocal promises the handler's
+  /// synchronous prefix touches only the tagged node's partition-owned
+  /// state, allowing the parallel-commit PDES path to fire it on the owning
+  /// worker. A kLocal event must carry a valid node tag — untagged routing
+  /// inherits the *currently firing* partition, which is only guaranteed to
+  /// match the handler's own state when pushed from that handler.
   template <typename F>
-  void schedule(Cycles delay, F&& action, std::uint16_t tag = 0) {
+  void schedule(Cycles delay, F&& action, std::uint16_t tag = 0,
+                CommitFootprint fp = CommitFootprint::kShared) {
     NC_ASSERT(delay >= 0, "cannot schedule into the past");
     if (parts_) [[unlikely]] {
-      parts_->push(now_ + delay, std::forward<F>(action), tag);
+      parts_->push(now_ + delay, std::forward<F>(action), tag, fp);
       return;
     }
     queue_.push(now_ + delay, std::forward<F>(action), tag);
@@ -43,10 +50,11 @@ class Engine : public FailureContext {
 
   /// Fast path: schedules `h.resume()` at now() + delay with no closure.
   void schedule_resume(Cycles delay, std::coroutine_handle<> h,
-                       std::uint16_t tag = 0) {
+                       std::uint16_t tag = 0,
+                       CommitFootprint fp = CommitFootprint::kShared) {
     NC_ASSERT(delay >= 0, "cannot schedule into the past");
     if (parts_) [[unlikely]] {
-      parts_->push_resume(now_ + delay, h, tag);
+      parts_->push_resume(now_ + delay, h, tag, fp);
       return;
     }
     queue_.push_resume(now_ + delay, h, tag);
@@ -56,10 +64,11 @@ class Engine : public FailureContext {
   /// insertion (see EventQueue::push_resume_batch). Fire order is the array
   /// order, identical to n schedule_resume calls. All n share `tag`.
   void schedule_resume_batch(Cycles delay, const std::coroutine_handle<>* hs,
-                             std::size_t n, std::uint16_t tag = 0) {
+                             std::size_t n, std::uint16_t tag = 0,
+                             CommitFootprint fp = CommitFootprint::kShared) {
     NC_ASSERT(delay >= 0, "cannot schedule into the past");
     if (parts_) [[unlikely]] {
-      parts_->push_resume_batch(now_ + delay, hs, n, tag);
+      parts_->push_resume_batch(now_ + delay, hs, n, tag, fp);
       return;
     }
     queue_.push_resume_batch(now_ + delay, hs, n, tag);
@@ -67,7 +76,8 @@ class Engine : public FailureContext {
 
   /// Detaches `t` as an independent process starting at now() + delay.
   /// The coroutine frame self-destroys on completion.
-  void spawn(Task<void> t, Cycles delay = 0);
+  void spawn(Task<void> t, Cycles delay = 0, std::uint16_t tag = 0,
+             CommitFootprint fp = CommitFootprint::kShared);
 
   /// Runs until no events remain, under `limits` (all unlimited by default).
   /// Returns the final virtual time. Throws SimError with a full diagnostic
@@ -78,19 +88,42 @@ class Engine : public FailureContext {
 
   /// Awaitable that suspends the current coroutine for `delay` cycles.
   /// Usage: `co_await engine.delay(n);` — `tag` annotates the wakeup event
-  /// in the trace ring (make_trace_tag).
-  auto delay(Cycles delay, std::uint16_t tag = 0) {
+  /// in the trace ring (make_trace_tag); `fp` declares the wakeup's commit
+  /// footprint (see schedule()).
+  auto delay(Cycles delay, std::uint16_t tag = 0,
+             CommitFootprint fp = CommitFootprint::kShared) {
     struct Awaiter {
       Engine* eng;
       Cycles d;
       std::uint16_t tag;
+      CommitFootprint fp;
       bool await_ready() const noexcept { return d <= 0; }
       void await_suspend(std::coroutine_handle<> h) {
-        eng->schedule_resume(d, h, tag);
+        eng->schedule_resume(d, h, tag, fp);
       }
       void await_resume() const noexcept {}
     };
-    return Awaiter{this, delay, tag};
+    return Awaiter{this, delay, tag, fp};
+  }
+
+  /// Escape hatch out of a parallel-commit worker: `co_await engine.escape()`
+  /// placed just before a handler's first touch of shared (cross-partition)
+  /// machine state. On a worker it suspends the continuation so the
+  /// coordinator resumes it serialized at the event's exact global-seq
+  /// position; in serial mode, on the coordinator, and in non-parallel
+  /// partitioned runs it completes synchronously — a true no-op, adding no
+  /// event and perturbing nothing.
+  auto escape() {
+    struct Awaiter {
+      bool await_ready() const noexcept {
+        return !PartitionSet::on_parallel_worker();
+      }
+      void await_suspend(std::coroutine_handle<> h) const noexcept {
+        PartitionSet::defer_escape(h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{};
   }
 
   /// Number of events executed so far (diagnostic).
@@ -112,6 +145,10 @@ class Engine : public FailureContext {
               "partitions must be enabled before the first event");
     NC_ASSERT(parts_ == nullptr, "partitions already enabled");
     parts_ = std::make_unique<PartitionSet>(plan);
+    // Parallel batches register/deregister blocked waiters from worker
+    // threads; sharding the registry by the waiter's node keeps each shard
+    // single-threaded per phase (see BlockedRegistry::shard_by_node).
+    blocked_.shard_by_node(plan.threads, plan.nodes);
     if (trace_.enabled()) parts_->enable_trace(trace_.capacity());
   }
 
@@ -119,6 +156,11 @@ class Engine : public FailureContext {
 
   /// The partitioned core, or null in serial mode (observability only).
   const PartitionSet* partitions() const { return parts_.get(); }
+
+  /// Mutable partitioned core for the ownership-accounting hooks
+  /// (note_lease_handoff / note_bank_access / note_ring_touch); null in
+  /// serial mode.
+  PartitionSet* partitions_mut() { return parts_.get(); }
 
   /// Suspended waiters currently registered with this engine. Sync and
   /// resource primitives add themselves here while blocked so a drained

@@ -1,6 +1,7 @@
 #include "src/sim/partition.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <thread>
 
 #include "src/common/nc_assert.hpp"
@@ -8,6 +9,15 @@
 #include "src/sim/engine.hpp"
 
 namespace netcache::sim {
+
+thread_local PartitionSet::WorkerCtx* PartitionSet::tls_ctx_ = nullptr;
+
+namespace {
+double seconds_between(std::chrono::steady_clock::time_point a,
+                       std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+}  // namespace
 
 Cycles validated_lookahead(Cycles declared, const char* system) {
   if (declared <= 0) {
@@ -28,10 +38,29 @@ PartitionSet::PartitionSet(const PartitionPlan& plan)
       parts_(static_cast<std::size_t>(plan.threads)),
       channels_(static_cast<std::size_t>(plan.threads) *
                 static_cast<std::size_t>(plan.threads)),
+      parallel_(plan.parallel_commit && plan.threads > 1),
+      hw_threads_(std::max(1u, std::thread::hardware_concurrency())),
+      worker_ctx_(static_cast<std::size_t>(plan.threads)),
+      replay_pos_(static_cast<std::size_t>(plan.threads), 0),
       barrier_(plan.threads) {
   NC_ASSERT(plan.threads >= 1 && plan.nodes >= plan.threads,
             "partition plan needs 1 <= threads <= nodes");
   NC_ASSERT(plan.lookahead > 0, "partition plan lookahead must be validated");
+}
+
+void PartitionSet::defer(Event&& e) {
+  WorkerCtx* ctx = tls_ctx_;
+  NC_ASSERT(ctx != nullptr, "deferred push outside a parallel batch");
+  WorkerCtx::Op op;
+  op.single = std::move(e);
+  ctx->ops.push_back(std::move(op));
+}
+
+void PartitionSet::defer_escape(std::coroutine_handle<> h) {
+  WorkerCtx* ctx = tls_ctx_;
+  NC_ASSERT(ctx != nullptr && !ctx->escaped,
+            "escape() suspended twice in one event");
+  ctx->escaped = h;
 }
 
 void PartitionSet::SerialQueueModel::on_push(Cycles time, std::size_t n) {
@@ -62,8 +91,23 @@ void PartitionSet::SerialQueueModel::on_push(Cycles time, std::size_t n) {
 
 void PartitionSet::push_resume_batch(Cycles time,
                                      const std::coroutine_handle<>* hs,
-                                     std::size_t n, std::uint16_t tag) {
+                                     std::size_t n, std::uint16_t tag,
+                                     CommitFootprint fp) {
   if (n == 0) return;
+  if (tls_ctx_ != nullptr) [[unlikely]] {
+    // Deferred as one record so replay repeats the single model_.on_push
+    // batch accounting (one regrow check for all n, exactly like below).
+    WorkerCtx* ctx = tls_ctx_;
+    WorkerCtx::Op op;
+    op.time = time;
+    op.tag = tag;
+    op.fp = fp;
+    op.batch_n = static_cast<std::uint32_t>(n);
+    op.handle_offset = static_cast<std::uint32_t>(ctx->batch_handles.size());
+    ctx->batch_handles.insert(ctx->batch_handles.end(), hs, hs + n);
+    ctx->ops.push_back(std::move(op));
+    return;
+  }
   model_.on_push(time, n);
   pending_ += n;
   const int owner = route(tag);
@@ -71,12 +115,11 @@ void PartitionSet::push_resume_batch(Cycles time,
   // serial batch push (n counted, one regrow check), so each event now just
   // needs transport to its destination in seq order.
   for (std::size_t i = 0; i < n; ++i) {
-    Event e = Event::make_resume(time, next_seq_++, hs[i], tag);
+    Event e = Event::make_resume(time, next_seq_++, hs[i], tag, fp);
     if (!committing_) {
       parts_[static_cast<std::size_t>(owner)].queue.push_event(std::move(e));
     } else if (time < window_end_) {
-      residual_.push_back(Residual{owner, std::move(e)});
-      std::push_heap(residual_.begin(), residual_.end(), residual_later);
+      stage_in_window(owner, std::move(e));
     } else {
       if (owner != current_partition_) ++cross_events_;
       channel(current_partition_, owner).push(std::move(e));
@@ -97,15 +140,28 @@ void PartitionSet::deliver(int owner, Event&& e) {
     return;
   }
   if (e.time < window_end_) {
-    // Still inside the window being committed: the merge must see it, in
-    // global (time, seq) position — exactly what the serial queue would do.
-    residual_.push_back(Residual{owner, std::move(e)});
-    std::push_heap(residual_.begin(), residual_.end(), residual_later);
+    stage_in_window(owner, std::move(e));
     return;
   }
   if (owner != current_partition_) ++cross_events_;
   channel_min_ = std::min(channel_min_, e.time);
   channel(current_partition_, owner).push(std::move(e));
+}
+
+void PartitionSet::stage_in_window(int owner, Event&& e) {
+  // Inside the window being committed: the merge must see the event in
+  // global (time, seq) position — exactly where the serial queue would fire
+  // it. kLocal events go to the owner partition's overlay heap so handler
+  // chains stay batch-eligible; shared ones go to the serialized residual.
+  if (e.footprint == CommitFootprint::kLocal) {
+    Partition& part = parts_[static_cast<std::size_t>(owner)];
+    part.overlay.push_back(std::move(e));
+    std::push_heap(part.overlay.begin(), part.overlay.end(), event_later);
+    return;
+  }
+  ++pdes_.residual_events;
+  residual_.push_back(Residual{owner, std::move(e)});
+  std::push_heap(residual_.begin(), residual_.end(), residual_later);
 }
 
 void PartitionSet::drain_and_stage(int p) {
@@ -148,30 +204,44 @@ void PartitionSet::commit_phase(Engine& engine, const RunLimits& limits,
   const int T = threads();
   for (;;) {
     // Next event to fire: minimum (time, seq) across the T staged batches
-    // (each sorted) and the residual heap.
+    // (each sorted), the T overlay heaps, and the residual heap.
     int best = -1;  // partition index, or T for the residual heap
+    bool best_overlay = false;
     Cycles best_time = 0;
     std::uint64_t best_seq = 0;
+    auto consider = [&](const Event& e, int idx, bool overlay) {
+      if (best < 0 || e.time < best_time ||
+          (e.time == best_time && e.seq < best_seq)) {
+        best = idx;
+        best_overlay = overlay;
+        best_time = e.time;
+        best_seq = e.seq;
+      }
+    };
     for (int p = 0; p < T; ++p) {
       const Partition& part = parts_[static_cast<std::size_t>(p)];
       if (part.staged_head < part.staged.size()) {
-        const Event& e = part.staged[part.staged_head];
-        if (best < 0 || e.time < best_time ||
-            (e.time == best_time && e.seq < best_seq)) {
-          best = p;
-          best_time = e.time;
-          best_seq = e.seq;
-        }
+        consider(part.staged[part.staged_head], p, false);
       }
+      if (!part.overlay.empty()) consider(part.overlay.front(), p, true);
     }
-    if (!residual_.empty()) {
-      const Event& e = residual_.front().event;
-      if (best < 0 || e.time < best_time ||
-          (e.time == best_time && e.seq < best_seq)) {
-        best = T;
-      }
-    }
+    if (!residual_.empty()) consider(residual_.front().event, T, false);
     if (best < 0) break;
+
+    // Parallel-commit fast path: when the globally next event has a kLocal
+    // footprint (overlay entries always do), fire the whole same-timestamp
+    // kLocal prefix across all partitions on the workers, then replay its
+    // deferred effects in global seq order. Falls through to the serial
+    // step when ineligible.
+    if (parallel_ && best < T &&
+        (best_overlay ||
+         parts_[static_cast<std::size_t>(best)]
+                 .staged[parts_[static_cast<std::size_t>(best)].staged_head]
+                 .footprint == CommitFootprint::kLocal) &&
+        try_parallel_batch(engine, limits, stalled, events_at_start,
+                           best_time)) {
+      continue;
+    }
 
     Event ev;
     int owner;
@@ -180,6 +250,12 @@ void PartitionSet::commit_phase(Engine& engine, const RunLimits& limits,
       owner = residual_.back().owner;
       ev = std::move(residual_.back().event);
       residual_.pop_back();
+    } else if (best_overlay) {
+      Partition& part = parts_[static_cast<std::size_t>(best)];
+      owner = best;
+      std::pop_heap(part.overlay.begin(), part.overlay.end(), event_later);
+      ev = std::move(part.overlay.back());
+      part.overlay.pop_back();
     } else {
       Partition& part = parts_[static_cast<std::size_t>(best)];
       owner = best;
@@ -209,6 +285,7 @@ void PartitionSet::commit_phase(Engine& engine, const RunLimits& limits,
                         ev.seq, static_cast<std::uint32_t>(pending_), ev.tag);
     }
     ev.fire();
+    ++pdes_.serial_commits;
     ++engine.events_executed_;
     if (limits.max_events &&
         engine.events_executed_ - events_at_start >= limits.max_events) {
@@ -221,6 +298,204 @@ void PartitionSet::commit_phase(Engine& engine, const RunLimits& limits,
   current_partition_ = 0;
 }
 
+bool PartitionSet::try_parallel_batch(Engine& engine, const RunLimits& limits,
+                                      std::uint64_t* stalled,
+                                      std::uint64_t events_at_start,
+                                      Cycles t) {
+  const int T = threads();
+  // Sequence cutoff: the batch may only contain events whose seq precedes
+  // every same-time event that must commit serialized — the first non-local
+  // staged entry of each partition and the residual-heap top. Anything at or
+  // past that seq could observe (or be observed by) a serialized handler, so
+  // it waits for a later batch or the serial path.
+  std::uint64_t s_block = std::numeric_limits<std::uint64_t>::max();
+  if (!residual_.empty() && residual_.front().event.time == t) {
+    s_block = residual_.front().event.seq;
+  }
+  for (int p = 0; p < T; ++p) {
+    Partition& part = parts_[static_cast<std::size_t>(p)];
+    std::size_t i = part.staged_head;
+    while (i < part.staged.size() && part.staged[i].time == t &&
+           part.staged[i].footprint == CommitFootprint::kLocal) {
+      ++i;
+    }
+    part.batch_end = i;
+    if (i < part.staged.size() && part.staged[i].time == t) {
+      s_block = std::min(s_block, part.staged[i].seq);
+    }
+  }
+  std::size_t total = 0;
+  int active = 0;
+  for (int p = 0; p < T; ++p) {
+    Partition& part = parts_[static_cast<std::size_t>(p)];
+    while (part.batch_end > part.staged_head &&
+           part.staged[part.batch_end - 1].seq >= s_block) {
+      --part.batch_end;
+    }
+    std::size_t n = part.batch_end - part.staged_head;
+    // Overlay entries at t (all kLocal; heap order not needed for counting).
+    for (const Event& e : part.overlay) {
+      if (e.time == t && e.seq < s_block) ++n;
+    }
+    total += n;
+    if (n > 0) ++active;
+  }
+  // Not worth two barrier crossings unless the batch is big enough and at
+  // least two partitions actually fire concurrently.
+  if (total < kMinParallelBatch || active < 2) return false;
+
+  // Watchdog prechecks: a budget that would trip mid-batch falls back to the
+  // serial path so the failure fires at the exact serial event, with the
+  // serial diagnostics.
+  if (limits.max_cycles && t >= limits.max_cycles) return false;
+  if (limits.max_stalled_events &&
+      *stalled + total > limits.max_stalled_events) {
+    return false;
+  }
+  if (limits.max_events &&
+      engine.events_executed_ - events_at_start + total >= limits.max_events) {
+    return false;
+  }
+
+  // Pop this batch's overlay slice (ascending (time, seq) = ascending seq:
+  // overlay seqs all postdate the staged ones, so workers fire staged then
+  // extras and their Fired lists stay seq-sorted for the replay merge).
+  for (int p = 0; p < T; ++p) {
+    Partition& part = parts_[static_cast<std::size_t>(p)];
+    part.batch_extra.clear();
+    while (!part.overlay.empty() && part.overlay.front().time == t &&
+           part.overlay.front().seq < s_block) {
+      std::pop_heap(part.overlay.begin(), part.overlay.end(), event_later);
+      part.batch_extra.push_back(std::move(part.overlay.back()));
+      part.overlay.pop_back();
+    }
+  }
+
+  // Fire: every slice runs with pushes deferred; now_ is already t for
+  // every handler in the batch (they all share the timestamp). Worker
+  // dispatch costs two barrier crossings, so small batches — and every
+  // batch on a single-hardware-thread host — fire coordinator-sequentially
+  // through the same machinery: identical events, counters, and replay,
+  // just no synchronization. Selection above never depends on the host, so
+  // results and PDES counters stay reproducible everywhere.
+  const Cycles prev_now = engine.now_;
+  engine.now_ = t;
+  if ((hw_threads_ > 1 || plan_.force_worker_dispatch) &&
+      total >= plan_.dispatch_min_batch) {
+    command_ = Cmd::kCommitBatch;
+    barrier_.arrive_and_wait();  // batch bounds published
+    fire_batch(0);
+    barrier_.arrive_and_wait();  // all slices fired
+    ++pdes_.dispatched_batches;
+  } else {
+    for (int p = 0; p < T; ++p) fire_batch(p);
+  }
+  ++pdes_.parallel_batches;
+  pdes_.parallel_commits += total;
+
+  for (int p = 0; p < T; ++p) {
+    Partition& part = parts_[static_cast<std::size_t>(p)];
+    part.staged_head = part.batch_end;
+  }
+  replay(engine, limits, stalled, prev_now, t);
+  for (int p = 0; p < T; ++p) {
+    parts_[static_cast<std::size_t>(p)].batch_extra.clear();
+  }
+  return true;
+}
+
+void PartitionSet::fire_batch(int p) {
+  Partition& part = parts_[static_cast<std::size_t>(p)];
+  WorkerCtx& ctx = worker_ctx_[static_cast<std::size_t>(p)];
+  ctx.reset();
+  tls_ctx_ = &ctx;
+  auto fire_one = [&](Event& ev) {
+    WorkerCtx::Fired f;
+    f.seq = ev.seq;
+    f.tag = ev.tag;
+    f.is_resume = ev.is_resume();
+    f.op_begin = static_cast<std::uint32_t>(ctx.ops.size());
+    ctx.escaped = nullptr;
+    ev.fire();
+    f.op_end = static_cast<std::uint32_t>(ctx.ops.size());
+    f.escaped = ctx.escaped;
+    ctx.fired.push_back(f);
+  };
+  for (std::size_t i = part.staged_head; i < part.batch_end; ++i) {
+    fire_one(part.staged[i]);
+  }
+  for (Event& ev : part.batch_extra) fire_one(ev);
+  tls_ctx_ = nullptr;
+}
+
+void PartitionSet::replay(Engine& engine, const RunLimits& limits,
+                          std::uint64_t* stalled, Cycles prev_now, Cycles t) {
+  const int T = threads();
+  std::fill(replay_pos_.begin(), replay_pos_.end(), 0);
+  // Walk the fired records in ascending global seq (each worker's list is
+  // already ascending), repeating the serial loop's accounting statement for
+  // statement. The handler bodies already ran; what replays here is their
+  // externally visible effects — pops, pushes, trace records, counters — in
+  // the exact order the serial engine interleaves them.
+  Cycles last_now = prev_now;
+  for (;;) {
+    int best = -1;
+    std::uint64_t best_seq = 0;
+    for (int p = 0; p < T; ++p) {
+      const WorkerCtx& ctx = worker_ctx_[static_cast<std::size_t>(p)];
+      if (replay_pos_[static_cast<std::size_t>(p)] < ctx.fired.size()) {
+        const std::uint64_t s =
+            ctx.fired[replay_pos_[static_cast<std::size_t>(p)]].seq;
+        if (best < 0 || s < best_seq) {
+          best = p;
+          best_seq = s;
+        }
+      }
+    }
+    if (best < 0) break;
+    WorkerCtx& ctx = worker_ctx_[static_cast<std::size_t>(best)];
+    const WorkerCtx::Fired f =
+        ctx.fired[replay_pos_[static_cast<std::size_t>(best)]++];
+
+    current_partition_ = best;
+    model_.on_pop(t);
+    --pending_;
+    if (limits.max_stalled_events) {
+      // Cannot trip — try_parallel_batch prechecked the whole batch — but
+      // the counter must advance exactly as the serial loop's would so the
+      // events after the batch see the right value.
+      *stalled = t == last_now ? *stalled + 1 : 0;
+    }
+    last_now = t;
+    Partition& part = parts_[static_cast<std::size_t>(best)];
+    if (part.trace.enabled()) {
+      part.trace.record(t,
+                        f.is_resume ? TraceKind::kResume : TraceKind::kCallback,
+                        f.seq, static_cast<std::uint32_t>(pending_), f.tag);
+    }
+    for (std::uint32_t i = f.op_begin; i < f.op_end; ++i) {
+      WorkerCtx::Op& op = ctx.ops[i];
+      if (op.batch_n > 0) {
+        push_resume_batch(op.time,
+                          ctx.batch_handles.data() + op.handle_offset,
+                          op.batch_n, op.tag, op.fp);
+      } else {
+        Event e = std::move(op.single);
+        e.seq = next_seq_++;
+        deliver(route(e.tag), std::move(e));
+      }
+    }
+    if (f.escaped) {
+      // The suspended remainder of the handler continues here, serialized,
+      // at the event's global-seq position: its live pushes flow through the
+      // normal committing-phase routing.
+      ++pdes_.escaped_continuations;
+      f.escaped.resume();
+    }
+    ++engine.events_executed_;
+  }
+}
+
 Cycles PartitionSet::run(Engine& engine, const RunLimits& limits) {
   const int T = threads();
   std::uint64_t stalled = 0;
@@ -231,16 +506,21 @@ Cycles PartitionSet::run(Engine& engine, const RunLimits& limits) {
   for (int p = 1; p < T; ++p) {
     workers.emplace_back([this, p] {
       for (;;) {
-        barrier_.arrive_and_wait();  // round start (or shutdown)
-        if (done_) return;
-        drain_and_stage(p);
-        barrier_.arrive_and_wait();  // staging complete
+        barrier_.arrive_and_wait();  // phase command ready (or shutdown)
+        const Cmd c = command_;
+        if (c == Cmd::kShutdown) return;
+        if (c == Cmd::kStage) {
+          drain_and_stage(p);
+        } else {
+          fire_batch(p);
+        }
+        barrier_.arrive_and_wait();  // phase complete
       }
     });
   }
   auto park_workers = [&] {
-    done_ = true;
-    barrier_.arrive_and_wait();  // release everyone into the done_ check
+    command_ = Cmd::kShutdown;
+    barrier_.arrive_and_wait();  // release everyone into the shutdown check
     for (auto& w : workers) w.join();
   };
 
@@ -260,10 +540,16 @@ Cycles PartitionSet::run(Engine& engine, const RunLimits& limits) {
                                                   : lbts + stage_width_;
       channel_min_ = kNoTime;
       ++rounds_;
+      const auto stage_begin = std::chrono::steady_clock::now();
+      command_ = Cmd::kStage;
       barrier_.arrive_and_wait();  // open the parallel phase
       drain_and_stage(0);
       barrier_.arrive_and_wait();  // all batches staged
+      const auto commit_begin = std::chrono::steady_clock::now();
       commit_phase(engine, limits, &stalled, events_at_start);
+      const auto commit_end = std::chrono::steady_clock::now();
+      pdes_.stage_seconds += seconds_between(stage_begin, commit_begin);
+      pdes_.commit_seconds += seconds_between(commit_begin, commit_end);
     }
   } catch (...) {
     park_workers();

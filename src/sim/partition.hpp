@@ -25,8 +25,24 @@
 // is safe *in this design* because commits are serialized in global (time,
 // seq) order — the lookahead is what licenses the partitions to run their
 // queue maintenance (drain/classify/extract, the measured hot path of big
-// runs) concurrently without ever seeing a partial picture of the window,
-// and it is the contract a future parallel-commit mode would inherit.
+// runs) concurrently without ever seeing a partial picture of the window.
+//
+// Parallel commit (DESIGN.md section 13): when the plan enables it, the
+// commit phase additionally fires *same-timestamp batches* of events whose
+// declared footprint (Event::footprint == kLocal) promises their synchronous
+// prefix touches only partition-owned state — a node's caches, write buffer,
+// and home memory bank. Each partition's worker fires its slice of the batch
+// in seq order; every engine push made on a worker is *deferred* (recorded
+// verbatim) and replayed by the coordinator in ascending global seq, where
+// the global seq counter, the shadow queue model, pending-event accounting,
+// tracing, and watchdogs advance exactly as the serial loop would have.
+// Handlers reaching shared state first pass `co_await engine.escape()`,
+// which on a worker suspends the continuation so the coordinator resumes it
+// serialized at the event's exact global-seq position (a no-op everywhere
+// else). Shared-footprint events, residual-heap events, and everything past
+// an escape commit serialized, ordered by the global (time, seq) key —
+// that serialized residual pass is what preserves bit-identity with
+// --intra-jobs=1.
 //
 // Determinism: seq numbers are assigned from one global counter in fire
 // order, which is the serial fire order by construction; every queue insert
@@ -34,16 +50,24 @@
 // merge, preserving the timing wheel's bucket-FIFO invariant. A shadow model
 // replays the serial queue's wheel/overflow accounting so RunSummary's
 // wheel_pushes / overflow_pushes / wheel_regrows — and therefore the result
-// cache's stored bytes — are identical to --intra-jobs=1.
+// cache's stored bytes — are identical to --intra-jobs=1. Parallel batches
+// keep this exact by construction: batch selection depends only on staged
+// (time, seq, footprint) data — never on wall-clock — and all global
+// accounting is replayed in seq order, so even the parallel/serial commit
+// counters are reproducible for a fixed thread count.
 //
-// Thread-confinement contract (DESIGN.md section 10/13): handlers only ever
-// run on the coordinator thread, so Stats/Histogram accumulation, the
-// BlockedRegistry, RNG, and coroutine frames (thread_local FrameArena) stay
-// single-threaded. Worker threads touch only their partition's queue, their
-// inbox channels, and their staged batch, with the barrier providing the
-// happens-before edges between phases (TSan-clean by construction).
+// Thread-confinement contract (DESIGN.md section 10/13): outside parallel
+// batches, handlers run on the coordinator thread. Inside a batch, worker p
+// runs only kLocal handlers owned by partition p, which by the footprint
+// contract touch only arc-p machine state, partition-p queue structures, and
+// the node-sharded BlockedRegistry shard p; all cross-partition effects are
+// deferred pushes or escaped continuations, replayed serialized. The phase
+// barrier provides the happens-before edges between phases (TSan-clean by
+// construction). Coroutine frames may now be freed on a different thread
+// than allocated them (FrameArena handles migration safely).
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <coroutine>
 #include <cstdint>
@@ -71,6 +95,24 @@ struct PartitionPlan {
   Cycles lookahead = 0;
   /// Staging window width; 0 selects max(lookahead, kMinStageWindow).
   Cycles stage_window = 0;
+  /// Fire same-timestamp batches of kLocal-footprint events on the partition
+  /// workers (see the header comment). Off, every event commits serialized —
+  /// the pre-parallel-commit behavior. Machine::run enables it only when the
+  /// verify oracle and fault injection are off (both observe commits through
+  /// shared state and therefore pin every handler to the serialized path).
+  bool parallel_commit = false;
+  /// Smallest batch worth two barrier crossings to the workers. Batches
+  /// below this (and every batch on a single-hardware-thread host) fire
+  /// coordinator-sequentially through the same defer+replay machinery —
+  /// identical events, counters, and results, just no synchronization — so
+  /// this knob tunes wall time only, never outcomes.
+  std::size_t dispatch_min_batch = 32;
+  /// Dispatch qualifying batches to the workers even on a single-hardware-
+  /// thread host (where the adaptive strategy would otherwise always pick
+  /// the coordinator-sequential path). Set alongside an explicit
+  /// NETCACHE_PARALLEL_DISPATCH_MIN so sanitizer jobs exercise the real
+  /// cross-thread path everywhere. Wall time only, like dispatch_min_batch.
+  bool force_worker_dispatch = false;
 };
 
 /// Checks a stack-declared lookahead: a conservative PDES barrier derived
@@ -79,32 +121,58 @@ struct PartitionPlan {
 /// Returns `declared` on success; throws ConfigError naming `system`.
 Cycles validated_lookahead(Cycles declared, const char* system);
 
-/// Two-phase rendezvous for the round protocol. Mutex + condvar (not
-/// std::barrier) so TSan sees textbook release/acquire edges and the workers
-/// park cheaply between rounds — round counts are ~runtime/window, far too
-/// low for spin-waiting to pay.
+/// The ownership map: partition owning node `n` when `nodes` are split into
+/// `threads` contiguous balanced arcs. Free function (also used by
+/// PartitionSet) so tests can exercise the uneven-division edge cases
+/// without building an engine.
+inline int partition_of_node(NodeId n, int nodes, int threads) {
+  return static_cast<int>((static_cast<std::int64_t>(n) * threads) / nodes);
+}
+
+/// Two-phase rendezvous for the round protocol: a sense-reversing barrier
+/// that spins briefly on an atomic generation counter before parking on a
+/// condvar. Staging rounds are rare (~runtime/window) so parking is fine for
+/// them, but parallel commit crosses the barrier twice per same-timestamp
+/// batch — the bounded spin makes those crossings ~100ns instead of a
+/// scheduler round trip, while still yielding the core when a phase is
+/// genuinely long (big stage windows, oversubscribed hosts).
 class PhaseBarrier {
  public:
   explicit PhaseBarrier(int parties) : parties_(parties) {}
 
   void arrive_and_wait() {
-    std::unique_lock<std::mutex> lock(mutex_);
-    std::uint64_t gen = generation_;
-    if (++arrived_ == parties_) {
-      arrived_ = 0;
-      ++generation_;
+    const std::uint64_t gen = generation_.load(std::memory_order_acquire);
+    if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == parties_) {
+      arrived_.store(0, std::memory_order_relaxed);
+      {
+        // The lock pairs the generation bump with cv_.wait's recheck so a
+        // late parker cannot miss the notify.
+        std::lock_guard<std::mutex> lock(mutex_);
+        generation_.fetch_add(1, std::memory_order_release);
+      }
       cv_.notify_all();
-    } else {
-      cv_.wait(lock, [&] { return generation_ != gen; });
+      return;
     }
+    for (int i = 0; i < kSpinIters; ++i) {
+      if (generation_.load(std::memory_order_acquire) != gen) return;
+#if defined(__x86_64__) || defined(__i386__)
+      __builtin_ia32_pause();
+#endif
+    }
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] {
+      return generation_.load(std::memory_order_acquire) != gen;
+    });
   }
 
  private:
+  static constexpr int kSpinIters = 4096;
+
   std::mutex mutex_;
   std::condition_variable cv_;
   int parties_;
-  int arrived_ = 0;
-  std::uint64_t generation_ = 0;
+  std::atomic<int> arrived_{0};
+  std::atomic<std::uint64_t> generation_{0};
 };
 
 /// Single-producer single-consumer event channel for one (src partition,
@@ -122,6 +190,50 @@ struct SpscChannel {
   void reset() {
     buffer.clear();
     head = 0;
+  }
+};
+
+/// Parallel-commit phase counters (observability: RunSummary's `pdes` block,
+/// the failure report's `pdes state:` line, BENCH_sweep.json). The event
+/// counters are deterministic for a fixed thread count — batch selection
+/// never looks at wall-clock — so a CI threshold on residual_fraction() is
+/// assertable even on single-core hosts. The wall-time fields are host
+/// observability only, excluded from serialization like wall_seconds.
+struct PdesCounters {
+  /// Events fired on a partition worker inside a same-timestamp batch.
+  std::uint64_t parallel_commits = 0;
+  /// Events fired one-at-a-time on the coordinator (shared footprint,
+  /// residual heap, below-threshold batches, watchdog fallbacks).
+  std::uint64_t serial_commits = 0;
+  /// Same-timestamp batches dispatched to the workers.
+  std::uint64_t parallel_batches = 0;
+  /// Worker-suspended continuations (engine.escape()) resumed serialized.
+  std::uint64_t escaped_continuations = 0;
+  /// Events that transited the in-window residual heap.
+  std::uint64_t residual_events = 0;
+  /// TDMA lease-contention: transmissions whose slot lease moved to a
+  /// different partition arc than the previous transmission's.
+  std::uint64_t lease_handoffs = 0;
+  /// Home-memory-bank accesses whose requester lives in a different arc
+  /// than the home node (the traffic that keeps commits serialized).
+  std::uint64_t foreign_bank_accesses = 0;
+  /// Ring transactions touching a slot homed outside the requester's arc.
+  std::uint64_t cross_arc_ring_touches = 0;
+  /// Batches actually dispatched to the worker threads (the rest fired
+  /// coordinator-sequentially: too small to amortize the barrier, or a
+  /// single-hardware-thread host). Host-dependent, like the wall times.
+  std::uint64_t dispatched_batches = 0;
+  /// Cumulative coordinator wall time in the parallel staging phases and in
+  /// the commit phases (host-dependent; never serialized).
+  double stage_seconds = 0.0;
+  double commit_seconds = 0.0;
+
+  /// Fraction of committed events that went through the serialized path.
+  double residual_fraction() const {
+    const std::uint64_t total = parallel_commits + serial_commits;
+    return total > 0
+               ? static_cast<double>(serial_commits) / static_cast<double>(total)
+               : 1.0;
   }
 };
 
@@ -143,25 +255,49 @@ class PartitionSet {
 
   /// Partition owning node `n`: contiguous balanced blocks.
   int partition_of_node(NodeId n) const {
-    return static_cast<int>((static_cast<std::int64_t>(n) * threads()) /
-                            plan_.nodes);
+    return sim::partition_of_node(n, plan_.nodes, threads());
   }
 
   // --- Engine push paths (mirror EventQueue's API, global seq). ---
+  //
+  // On a parallel-commit worker every push is deferred: recorded verbatim
+  // (seq unassigned) in the worker's context and replayed by the coordinator
+  // in the firing event's global-seq position, so the global counter, the
+  // shadow model, and routing all see the exact serial interleaving.
 
   template <typename F>
-  void push(Cycles time, F&& action, std::uint16_t tag) {
+  void push(Cycles time, F&& action, std::uint16_t tag,
+            CommitFootprint fp = CommitFootprint::kShared) {
+    if (tls_ctx_ != nullptr) [[unlikely]] {
+      defer(Event::make_callback(time, 0, std::forward<F>(action), tag, fp));
+      return;
+    }
     deliver(route(tag),
             Event::make_callback(time, next_seq_++, std::forward<F>(action),
-                                 tag));
+                                 tag, fp));
   }
 
-  void push_resume(Cycles time, std::coroutine_handle<> h, std::uint16_t tag) {
-    deliver(route(tag), Event::make_resume(time, next_seq_++, h, tag));
+  void push_resume(Cycles time, std::coroutine_handle<> h, std::uint16_t tag,
+                   CommitFootprint fp = CommitFootprint::kShared) {
+    if (tls_ctx_ != nullptr) [[unlikely]] {
+      defer(Event::make_resume(time, 0, h, tag, fp));
+      return;
+    }
+    deliver(route(tag), Event::make_resume(time, next_seq_++, h, tag, fp));
   }
 
   void push_resume_batch(Cycles time, const std::coroutine_handle<>* hs,
-                         std::size_t n, std::uint16_t tag);
+                         std::size_t n, std::uint16_t tag,
+                         CommitFootprint fp = CommitFootprint::kShared);
+
+  /// True while the calling thread is firing a parallel-commit batch slice.
+  /// Engine::escape()'s awaiter keys off this: it suspends only here.
+  static bool on_parallel_worker() { return tls_ctx_ != nullptr; }
+
+  /// Records the continuation of the event currently firing on this worker;
+  /// the coordinator resumes it serialized at the event's global-seq
+  /// position. Only valid from a parallel-commit worker.
+  static void defer_escape(std::coroutine_handle<> h);
 
   bool empty() const { return pending_ == 0; }
   std::size_t size() const { return pending_; }
@@ -185,6 +321,29 @@ class PartitionSet {
   // --- Observability (tests, benches). ---
   std::uint64_t rounds() const { return rounds_; }
   std::uint64_t cross_partition_events() const { return cross_events_; }
+  const PdesCounters& pdes() const { return pdes_; }
+  bool parallel_commit_enabled() const { return parallel_; }
+
+  // --- Ownership accounting (called from serialized handler context by the
+  // network stacks and the home-memory update path; see DESIGN.md §13). ---
+
+  /// A TDMA transmission whose slot lease moved to a different arc.
+  void note_lease_handoff() { ++pdes_.lease_handoffs; }
+
+  /// A home-memory-bank access on behalf of `requester` against `home`'s
+  /// bank; counted when the two live in different partition arcs.
+  void note_bank_access(NodeId requester, NodeId home) {
+    if (partition_of_node(requester) != partition_of_node(home)) {
+      ++pdes_.foreign_bank_accesses;
+    }
+  }
+
+  /// A ring transaction by `requester` touching a slot homed at `home`.
+  void note_ring_touch(NodeId requester, NodeId home) {
+    if (partition_of_node(requester) != partition_of_node(home)) {
+      ++pdes_.cross_arc_ring_touches;
+    }
+  }
 
  private:
   struct Partition {
@@ -193,7 +352,59 @@ class PartitionSet {
     /// pop order). The commit merge consumes from staged_head.
     std::vector<Event> staged;
     std::size_t staged_head = 0;
+    /// End (exclusive) of this partition's slice of the current parallel
+    /// batch: staged[staged_head, batch_end) all share one timestamp and a
+    /// kLocal footprint, and precede every same-time serialized event.
+    std::size_t batch_end = 0;
+    /// In-window kLocal events created *during* the commit phase for this
+    /// partition (handler chains: an event at t schedules t+1 inside the
+    /// same window). Min-heap on (time, seq). Keeping them here instead of
+    /// the shared residual heap is what lets chain events join later
+    /// parallel batches; commit order is unchanged (the merge treats the
+    /// overlay top as one more (time, seq) candidate).
+    std::vector<Event> overlay;
+    /// Overlay events popped into the current parallel batch (fired after
+    /// the staged slice; their seqs all exceed the staged ones).
+    std::vector<Event> batch_extra;
     TraceRing trace;
+  };
+
+  /// Per-worker deferral context for one parallel batch: everything a fired
+  /// handler did that must be replayed in global order by the coordinator.
+  struct WorkerCtx {
+    struct Op {
+      /// batch_n == 0: a fully built single event, seq assigned at replay.
+      Event single;
+      /// batch_n > 0: a schedule_resume_batch of batch_n handles starting at
+      /// batch_handles[handle_offset] (replayed as one model push, exactly
+      /// like the serial batch path).
+      Cycles time = 0;
+      std::uint16_t tag = 0;
+      CommitFootprint fp = CommitFootprint::kShared;
+      std::uint32_t batch_n = 0;
+      std::uint32_t handle_offset = 0;
+    };
+    struct Fired {
+      std::uint64_t seq = 0;
+      std::uint32_t op_begin = 0;
+      std::uint32_t op_end = 0;
+      std::uint16_t tag = 0;
+      bool is_resume = true;
+      /// Continuation suspended at engine.escape(), or null.
+      std::coroutine_handle<> escaped = nullptr;
+    };
+
+    std::vector<Fired> fired;        // ascending seq (slice fire order)
+    std::vector<Op> ops;             // call order across the slice
+    std::vector<std::coroutine_handle<>> batch_handles;
+    std::coroutine_handle<> escaped = nullptr;  // set mid-fire by escape()
+
+    void reset() {
+      fired.clear();
+      ops.clear();
+      batch_handles.clear();
+      escaped = nullptr;
+    }
   };
 
   /// In-window event scheduled during the commit phase, waiting to be merged
@@ -208,6 +419,17 @@ class PartitionSet {
     if (a.event.time != b.event.time) return a.event.time > b.event.time;
     return a.event.seq > b.event.seq;
   }
+
+  /// Same ordering for the per-partition overlay heaps.
+  static bool event_later(const Event& a, const Event& b) {
+    if (a.time != b.time) return a.time > b.time;
+    return a.seq > b.seq;
+  }
+
+  /// Routes an in-window event created during the commit phase: kLocal to
+  /// the owner partition's overlay heap (batch-eligible), anything else to
+  /// the serialized residual heap.
+  void stage_in_window(int owner, Event&& e);
 
   /// Replays the serial EventQueue's stats classification against the global
   /// push/pop stream so a partitioned run reports — and serializes — exactly
@@ -244,10 +466,33 @@ class PartitionSet {
                      static_cast<std::size_t>(dst)];
   }
 
+  /// Worker command for the next barrier-delimited phase.
+  enum class Cmd : std::uint8_t { kStage, kCommitBatch, kShutdown };
+
+  /// Minimum total batch size worth two barrier crossings; below it the
+  /// coordinator serial-steps (still bit-identical, just not parallel).
+  static constexpr std::size_t kMinParallelBatch = 4;
+
+  /// Records a push made while firing on a worker (seq still unassigned).
+  static void defer(Event&& e);
+
   void deliver(int owner, Event&& e);
   void drain_and_stage(int p);
   void commit_phase(Engine& engine, const RunLimits& limits,
                     std::uint64_t* stalled, std::uint64_t events_at_start);
+  /// Attempts to fire a same-timestamp batch of kLocal staged events at time
+  /// `t` on the workers. Returns false (nothing fired) when the batch is too
+  /// small, too lopsided, or a watchdog could trip mid-batch — the caller
+  /// serial-steps instead.
+  bool try_parallel_batch(Engine& engine, const RunLimits& limits,
+                          std::uint64_t* stalled,
+                          std::uint64_t events_at_start, Cycles t);
+  /// Fires parts_[p].staged[staged_head, batch_end) with pushes deferred.
+  void fire_batch(int p);
+  /// Replays the deferred effects of a fired batch in ascending global seq,
+  /// advancing every piece of serial accounting statement-for-statement.
+  void replay(Engine& engine, const RunLimits& limits, std::uint64_t* stalled,
+              Cycles prev_now, Cycles t);
 
   PartitionPlan plan_;
   Cycles stage_width_;
@@ -260,17 +505,30 @@ class PartitionSet {
   std::uint64_t next_seq_ = 0;
   std::size_t pending_ = 0;
 
-  // Round state (coordinator-written; workers read window_end_ between the
-  // two barriers of a round, and done_ right after the round-start barrier).
+  // Round state (coordinator-written; workers read window_end_ and their
+  // batch bounds between the two barriers of a phase, and command_ right
+  // after the phase-start barrier).
   Cycles window_end_ = 0;
   Cycles channel_min_ = kNoTime;
   bool committing_ = false;
   int current_partition_ = 0;
-  bool done_ = false;
+  Cmd command_ = Cmd::kStage;
   std::uint64_t rounds_ = 0;
   std::uint64_t cross_events_ = 0;
   std::size_t trace_capacity_ = 0;
+  bool parallel_ = false;
+  /// Hardware threads on this host, captured once; 1 pins every batch to
+  /// the coordinator-sequential path (dispatching cannot overlap anything).
+  unsigned hw_threads_ = 1;
+  std::vector<WorkerCtx> worker_ctx_;   // one per partition
+  std::vector<std::size_t> replay_pos_;  // scratch for replay()'s merge
+  PdesCounters pdes_;
   PhaseBarrier barrier_;
+
+  /// Set while this thread fires a batch slice; routes every push into the
+  /// deferral context. One machine runs per thread, so a bare thread_local
+  /// is unambiguous.
+  static thread_local WorkerCtx* tls_ctx_;
 };
 
 }  // namespace netcache::sim

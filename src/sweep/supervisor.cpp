@@ -325,7 +325,15 @@ std::vector<CellResult> run_supervised(const std::vector<Cell>& cells,
         ::dup2(err_fd, 2);
         ::close(err_fd);
       }
-      run_cell_entrypoint(cells[cell_index], fds[1]);
+      // Recompute the jobs x intra-jobs cap in the child: this process tree
+      // runs up to `jobs` children at once, each of which would otherwise
+      // re-read the uncapped NETCACHE_INTRA_JOBS through Machine's
+      // environment fallback and oversubscribe the host. The capped value is
+      // baked into the cell and the variable dropped so it cannot re-apply.
+      Cell child_cell = cells[cell_index];
+      child_cell.intra_jobs = effective_child_intra_jobs(jobs, child_cell);
+      ::unsetenv("NETCACHE_INTRA_JOBS");
+      run_cell_entrypoint(child_cell, fds[1]);
     }
     // Parent.
     ::close(fds[1]);

@@ -95,6 +95,12 @@ int compose_intra_jobs(int jobs, int intra) {
   return std::min(intra, budget);
 }
 
+int effective_child_intra_jobs(int jobs, const Cell& cell) {
+  const int requested =
+      cell.intra_jobs > 0 ? cell.intra_jobs : default_intra_jobs();
+  return compose_intra_jobs(jobs, requested);
+}
+
 namespace {
 
 /// Per-worker task queue. Owners pop from the front; thieves steal from the
@@ -198,7 +204,13 @@ const std::vector<CellResult>& SweepDriver::run() {
   NC_ASSERT(!ran_, "SweepDriver runs exactly once");
   ran_ = true;
   if (intra_jobs_ > 0) {
-    const int intra = compose_intra_jobs(jobs_, intra_jobs_);
+    // Isolated mode defers the jobs x intra cap to the forked children
+    // (effective_child_intra_jobs): the request is propagated uncapped here
+    // so a cell that runs alone on a retry tail is not stuck with a cap
+    // computed for a full parent-side pool.
+    const int intra = isolation_.enabled
+                          ? intra_jobs_
+                          : compose_intra_jobs(jobs_, intra_jobs_);
     for (Cell& cell : cells_) {
       if (cell.intra_jobs == 0) cell.intra_jobs = intra;
     }

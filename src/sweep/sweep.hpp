@@ -145,6 +145,15 @@ int default_intra_jobs();
 /// it only pays barrier overhead). Returns the capped value, >= 1.
 int compose_intra_jobs(int jobs, int intra);
 
+/// The intra-jobs value one supervised (forked) child should run with: the
+/// cell's explicit request, falling back to the NETCACHE_INTRA_JOBS default,
+/// capped by compose_intra_jobs against the supervisor's child-slot count.
+/// Computed in the child, not the parent, so the cap reflects the process
+/// tree actually running: the parent-side cap cannot see that each child is
+/// its own process whose Machine would otherwise re-read the uncapped
+/// environment value.
+int effective_child_intra_jobs(int jobs, const Cell& cell);
+
 /// Runs `tasks` (independent closures) across `jobs` worker threads with
 /// dynamic work stealing; blocks until every task has run. jobs <= 1 runs
 /// them in submission order on the calling thread. Each task executes on

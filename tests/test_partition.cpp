@@ -229,6 +229,176 @@ TEST(PartitionFailure, DeadlockInOnePartitionStillReportsEveryWaiter) {
   }
 }
 
+RunSummary run_tweaked(int nodes, int intra_jobs,
+                       const std::function<void(MachineConfig&)>& tweak = {},
+                       const std::string& app = "fft") {
+  MachineConfig cfg;
+  cfg.nodes = nodes;
+  cfg.intra_jobs = intra_jobs;
+  if (tweak) tweak(cfg);
+  Machine machine(cfg);
+  apps::WorkloadParams params;
+  params.scale = 0.05;
+  auto workload = apps::make_workload(app, params);
+  return machine.run(*workload);
+}
+
+// Ownership-map edge cases: the contiguous-arc partition function must cover
+// every partition, stay monotone, and agree with what the engine builds.
+TEST(PartitionEdges, OwnershipMapIsContiguousAndComplete) {
+  for (int nodes : {2, 3, 6, 7, 16, 64}) {
+    for (int threads : {1, 2, 3, 4}) {
+      if (threads > nodes) continue;
+      int prev = 0;
+      std::vector<int> sizes(static_cast<std::size_t>(threads), 0);
+      for (int n = 0; n < nodes; ++n) {
+        int p = sim::partition_of_node(n, nodes, threads);
+        ASSERT_GE(p, 0) << nodes << "/" << threads;
+        ASSERT_LT(p, threads) << nodes << "/" << threads;
+        ASSERT_GE(p, prev) << "non-contiguous at node " << n;
+        prev = p;
+        ++sizes[static_cast<std::size_t>(p)];
+      }
+      EXPECT_EQ(sim::partition_of_node(0, nodes, threads), 0);
+      EXPECT_EQ(sim::partition_of_node(nodes - 1, nodes, threads),
+                threads - 1);
+      for (int p = 0; p < threads; ++p) {
+        EXPECT_GT(sizes[static_cast<std::size_t>(p)], 0)
+            << "empty partition " << p << " for " << nodes << " nodes x "
+            << threads << " threads";
+      }
+    }
+  }
+}
+
+// 6 nodes across 4 threads: arc sizes {2,1,2,1} — the uneven case where an
+// off-by-one in the ownership map would hand one node to two workers.
+TEST(PartitionEdges, UnevenNodeDivisionIsBitIdentical) {
+  auto tweak = [](MachineConfig& cfg) {
+    cfg.ring.channels = 120;  // default 128 does not divide 6 home nodes
+  };
+  RunSummary serial = run_tweaked(6, 1, tweak);
+  ASSERT_TRUE(serial.verified);
+  const std::string want = canonical(serial);
+  for (int threads : {2, 4}) {
+    RunSummary part = run_tweaked(6, threads, tweak);
+    EXPECT_EQ(canonical(part), want)
+        << "6 nodes diverged at intra_jobs=" << threads;
+  }
+}
+
+// Every partition a single node: no partition ever has a neighbor to batch
+// with inside its own arc, so parallel selection degenerates gracefully.
+TEST(PartitionEdges, SingleNodePartitionsAreBitIdentical) {
+  auto tweak = [](MachineConfig& cfg) {
+    cfg.system = SystemKind::kLambdaNet;  // node count free of ring divisors
+  };
+  RunSummary serial = run_tweaked(3, 1, tweak);
+  ASSERT_TRUE(serial.verified);
+  RunSummary part = run_tweaked(3, 3, tweak);
+  EXPECT_EQ(canonical(part), canonical(serial))
+      << "3 nodes / 3 single-node partitions diverged";
+}
+
+// intra_jobs above the ring slot count: either the configuration is rejected
+// up front (ConfigError) or the run must stay bit-identical — never a
+// silently wrong result.
+TEST(PartitionEdges, IntraJobsAboveRingSlotsIsIdenticalOrRejected) {
+  auto tweak = [](MachineConfig& cfg) {
+    cfg.ring.channels = 4;  // 4 slots, 4 nodes; intra request of 8 exceeds it
+  };
+  std::string want;
+  try {
+    RunSummary serial = run_tweaked(4, 1, tweak);
+    ASSERT_TRUE(serial.verified);
+    want = canonical(serial);
+  } catch (const ConfigError&) {
+    GTEST_SKIP() << "4-channel ring rejected outright";
+  }
+  try {
+    RunSummary part = run_tweaked(4, 8, tweak);
+    EXPECT_EQ(canonical(part), want) << "over-partitioned run diverged";
+    // Machine::run clamps intra to the node count; threads never exceed it.
+    EXPECT_LE(part.pdes.threads, 4);
+  } catch (const ConfigError&) {
+    SUCCEED();  // explicit rejection is the other acceptable outcome
+  }
+}
+
+// --- Parallel-commit engagement and gating -------------------------------
+
+// A plain partitioned run must actually use the parallel path (batches with
+// more than one event exist in every Table 4 app at this scale), and the
+// counters must account for every committed event.
+TEST(ParallelCommit, EngagesOnPlainPartitionedRuns) {
+  RunSummary s = run_app("fft", SystemKind::kNetCache, 4);
+  ASSERT_TRUE(s.verified);
+  EXPECT_EQ(s.pdes.threads, 4);
+  EXPECT_GT(s.pdes.parallel_commits, 0u);
+  EXPECT_GT(s.pdes.parallel_batches, 0u);
+  EXPECT_EQ(s.pdes.parallel_commits + s.pdes.serial_commits, s.events);
+  EXPECT_GE(s.pdes.residual_fraction(), 0.0);
+  EXPECT_LT(s.pdes.residual_fraction(), 1.0);
+  // The "pdes:" report line carries the counters; serial runs omit it.
+  EXPECT_NE(core::format_pdes(s).find("residual_frac"), std::string::npos);
+  RunSummary serial = run_app("fft", SystemKind::kNetCache, 1);
+  EXPECT_EQ(serial.pdes.threads, 0);
+  EXPECT_EQ(core::format_pdes(serial), "");
+}
+
+// The oracle mutates global coherence tables from handler bodies, so
+// verified runs must fall back to the fully serialized commit loop.
+TEST(ParallelCommit, VerifiedRunsStaySerialized) {
+  MachineConfig cfg;
+  cfg.nodes = 16;
+  cfg.intra_jobs = 4;
+  cfg.verify = true;
+  Machine machine(cfg);
+  apps::WorkloadParams params;
+  params.scale = 0.1;
+  auto workload = apps::make_workload("fft", params);
+  RunSummary s = machine.run(*workload);
+  ASSERT_TRUE(s.verified);
+  EXPECT_EQ(s.pdes.threads, 4);
+  EXPECT_EQ(s.pdes.parallel_commits, 0u);
+  EXPECT_GT(s.pdes.serial_commits, 0u);
+}
+
+// NETCACHE_PARALLEL_COMMIT=0 is the operational kill-switch: partitioned
+// staging still runs, but every commit goes through the serial loop.
+TEST(ParallelCommit, KillSwitchDisablesParallelPath) {
+  ASSERT_EQ(setenv("NETCACHE_PARALLEL_COMMIT", "0", 1), 0);
+  RunSummary s = run_app("fft", SystemKind::kNetCache, 4);
+  unsetenv("NETCACHE_PARALLEL_COMMIT");
+  ASSERT_TRUE(s.verified);
+  EXPECT_EQ(s.pdes.threads, 4);
+  EXPECT_EQ(s.pdes.parallel_commits, 0u);
+  EXPECT_GT(s.pdes.serial_commits, 0u);
+  // And the kill-switch must not change results either.
+  RunSummary open = run_app("fft", SystemKind::kNetCache, 4);
+  EXPECT_EQ(canonical(open), canonical(s));
+}
+
+// Satellite of the --isolate fix: the child-side cap composes the cell's
+// request (or the environment default) against the supervisor's slot count.
+TEST(ParallelCommit, EffectiveChildIntraJobs) {
+  unsetenv("NETCACHE_INTRA_JOBS");
+  sweep::Cell cell;
+  cell.intra_jobs = 0;
+  EXPECT_EQ(sweep::effective_child_intra_jobs(4, cell), 1);
+  cell.intra_jobs = 6;
+  EXPECT_EQ(sweep::effective_child_intra_jobs(1, cell),
+            sweep::compose_intra_jobs(1, 6));
+  ASSERT_EQ(setenv("NETCACHE_INTRA_JOBS", "8", 1), 0);
+  cell.intra_jobs = 0;  // inherits the environment request, then caps it
+  EXPECT_EQ(sweep::effective_child_intra_jobs(2, cell),
+            sweep::compose_intra_jobs(2, 8));
+  cell.intra_jobs = 3;  // explicit request wins over the environment
+  EXPECT_EQ(sweep::effective_child_intra_jobs(2, cell),
+            sweep::compose_intra_jobs(2, 3));
+  unsetenv("NETCACHE_INTRA_JOBS");
+}
+
 TEST(PartitionFailure, WatchdogBudgetsMatchSerialBehavior) {
   for (int intra : {1, 2}) {
     MachineConfig cfg;
