@@ -8,6 +8,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "src/sweep/flags.hpp"
 #include "src/sweep/result_cache.hpp"
 #include "src/sweep/supervisor.hpp"
 
@@ -214,87 +215,29 @@ int bench_intra_jobs() {
 
 int bench_main(int argc, char** argv,
                const std::vector<const Table*>& tables) {
-  // Strip our own flags before google-benchmark sees (and rejects) them.
+  // Strip the shared sweep flags before google-benchmark sees (and rejects)
+  // them; parsing and validation live in src/sweep/flags.cpp, shared with
+  // netcache_sim and netcache_sweepd.
   int out = 1;
-  bool no_cache = false;
-  const char* cache_dir = nullptr;
-  sweep::IsolationOptions iso = sweep::default_isolation();
+  sweep::SweepFlags flags;
   for (int i = 1; i < argc; ++i) {
-    const char* a = argv[i];
-    if (std::strcmp(a, "--isolate") == 0) {
-      iso.enabled = true;
-      continue;
-    }
-    if (std::strncmp(a, "--cell-timeout=", 15) == 0) {
-      char* end = nullptr;
-      double s = std::strtod(a + 15, &end);
-      if (end == a + 15 || *end != '\0' || s < 0) {
-        std::fprintf(stderr, "bad --cell-timeout value '%s'\n", a + 15);
+    std::string error;
+    switch (sweep::parse_sweep_flag(argv[i], &flags, &error)) {
+      case sweep::FlagParse::kConsumed:
+        break;
+      case sweep::FlagParse::kBadValue:
+        std::fprintf(stderr, "%s\n", error.c_str());
         return 1;
-      }
-      iso.cell_timeout_s = s;
-      continue;
+      case sweep::FlagParse::kNotSweepFlag:
+        argv[out++] = argv[i];
+        break;
     }
-    if (std::strncmp(a, "--cell-retries=", 15) == 0) {
-      char* end = nullptr;
-      long n = std::strtol(a + 15, &end, 10);
-      if (end == a + 15 || *end != '\0' || n < 0) {
-        std::fprintf(stderr, "bad --cell-retries value '%s'\n", a + 15);
-        return 1;
-      }
-      iso.cell_retries = static_cast<int>(n);
-      continue;
-    }
-    if (std::strncmp(a, "--forensics=", 12) == 0) {
-      if (a[12] == '\0') {
-        std::fprintf(stderr, "bad --forensics value: empty directory\n");
-        return 1;
-      }
-      iso.forensics_dir = a + 12;
-      continue;
-    }
-    if (std::strncmp(a, "--jobs=", 7) == 0) {
-      char* end = nullptr;
-      long n = std::strtol(a + 7, &end, 10);
-      if (end == a + 7 || *end != '\0' || n < 1) {
-        std::fprintf(stderr, "bad --jobs value '%s'\n", a + 7);
-        return 1;
-      }
-      g_jobs = static_cast<int>(n);
-      continue;
-    }
-    if (std::strncmp(a, "--intra-jobs=", 13) == 0) {
-      char* end = nullptr;
-      long n = std::strtol(a + 13, &end, 10);
-      if (end == a + 13 || *end != '\0' || n < 1 || n > 1024) {
-        std::fprintf(stderr, "bad --intra-jobs value '%s'\n", a + 13);
-        return 1;
-      }
-      g_intra_jobs = static_cast<int>(n);
-      continue;
-    }
-    if (std::strncmp(a, "--cache=", 8) == 0) {
-      if (a[8] == '\0') {
-        std::fprintf(stderr, "bad --cache value: empty directory\n");
-        return 1;
-      }
-      cache_dir = a + 8;
-      continue;
-    }
-    if (std::strcmp(a, "--no-cache") == 0) {
-      no_cache = true;
-      continue;
-    }
-    argv[out++] = argv[i];
   }
   argc = out;
-  // --no-cache beats --cache beats the NETCACHE_SWEEP_CACHE environment
-  // variable (which shared_cache() reads lazily when neither flag is given).
-  if (no_cache) {
-    sweep::disable_shared_cache();
-  } else if (cache_dir != nullptr) {
-    sweep::configure_shared_cache(cache_dir);
-  }
+  g_jobs = flags.jobs;
+  g_intra_jobs = flags.intra_jobs > 0 ? flags.intra_jobs : -1;
+  const sweep::IsolationOptions iso = flags.isolation;
+  sweep::apply_cache_flags(flags);
 
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
@@ -340,17 +283,8 @@ int bench_main(int argc, char** argv,
     std::printf(
         "sweep: %zu cells on %d worker(s) x %d intra-thread(s) in %.2f s\n",
         driver.size(), driver.jobs(), intra, secs);
-    if (const sweep::ResultCache* cache = sweep::shared_cache()) {
-      sweep::CacheStats cs = cache->stats();
-      std::printf("cache: %llu hit(s), %llu miss(es), %llu store(s), "
-                  "%llu skip(s), %llu store error(s)  [%s]\n",
-                  static_cast<unsigned long long>(cs.hits),
-                  static_cast<unsigned long long>(cs.misses),
-                  static_cast<unsigned long long>(cs.stores),
-                  static_cast<unsigned long long>(cs.skips),
-                  static_cast<unsigned long long>(cs.store_errors),
-                  cache->dir().c_str());
-    }
+    const std::string cache_line = sweep::format_cache_stats();
+    if (!cache_line.empty()) std::printf("%s", cache_line.c_str());
     if (sweep::stop_requested()) {
       std::fprintf(stderr,
                    "sweep interrupted by signal %d — %zu/%zu cells "

@@ -23,6 +23,7 @@
 #include "src/core/machine.hpp"
 #include "src/core/report.hpp"
 #include "src/faults/faults.hpp"
+#include "src/sweep/flags.hpp"
 #include "src/sweep/result_cache.hpp"
 #include "src/sweep/supervisor.hpp"
 #include "src/sweep/sweep.hpp"
@@ -48,20 +49,17 @@ struct Options {
   bool prefetch = false;
   bool ring_only_reads = false;
   bool report = false;
-  int jobs = 0;        // 0 = sweep::default_jobs()
-  int intra_jobs = 0;  // 0 = config / NETCACHE_INTRA_JOBS default
-  std::string cache_dir;
-  bool no_cache = false;
   bool verify = false;
   std::string faults;
   std::string fault_apps;  // empty = every cell gets the fault spec
   bool fault_seed_set = false;
   std::uint64_t fault_seed = 0;
   bool fault_recovery = true;
-  bool isolate = false;
-  double cell_timeout = -1;  // < 0 = IsolationOptions default
-  int cell_retries = -1;     // < 0 = IsolationOptions default
-  std::string forensics_dir;
+  /// The shared sweep surface (--jobs, --intra-jobs, --cache, --no-cache,
+  /// --isolate, --cell-timeout, --cell-retries, --forensics) — parsed and
+  /// validated by src/sweep/flags.cpp, identically to bench_main and
+  /// netcache_sweepd.
+  sweep::SweepFlags sweep;
 };
 
 void usage() {
@@ -87,14 +85,6 @@ void usage() {
       "  --prefetch         enable sequential prefetch\n"
       "  --ring-only-reads  disable the parallel star-path read start\n"
       "  --report           print the full per-node report (single cell)\n"
-      "  --jobs=N           sweep worker threads for multi-cell runs\n"
-      "  --intra-jobs=T     conservative-PDES threads inside each cell's\n"
-      "                     simulation; results are bit-identical at any T\n"
-      "                     (default: NETCACHE_BENCH_JOBS or hardware)\n"
-      "  --cache=DIR        persistent sweep result cache: unchanged cells\n"
-      "                     are served bit-identically from DIR instead of\n"
-      "                     re-simulated (also: NETCACHE_SWEEP_CACHE)\n"
-      "  --no-cache         ignore --cache and NETCACHE_SWEEP_CACHE\n"
       "  --verify           runtime coherence oracle: shadow-memory model\n"
       "                     checking every cached read against the latest\n"
       "                     committed store (also: NETCACHE_VERIFY=1)\n"
@@ -110,17 +100,8 @@ void usage() {
       "                     same seed => same schedule at any --jobs)\n"
       "  --no-fault-recovery  leave injected faults unrepaired; requires\n"
       "                     --verify so every fault is caught, never silent\n"
-      "  --isolate          run every cell in its own supervised child\n"
-      "                     process: crashes and livelocks are contained,\n"
-      "                     the rest of the grid completes, and a re-run\n"
-      "                     re-executes only the failed cells (also:\n"
-      "                     NETCACHE_SWEEP_ISOLATE=1)\n"
-      "  --cell-timeout=S   wall-clock seconds per supervised cell attempt\n"
-      "                     before SIGKILL (default 900; 0 = none)\n"
-      "  --cell-retries=N   re-runs after a transient process failure,\n"
-      "                     exponential backoff (default 1)\n"
-      "  --forensics=DIR    write one file per failed supervised attempt\n"
-      "                     (exit status + captured stderr) under DIR\n");
+      "%s",
+      sweep::sweep_flags_help());
 }
 
 bool parse_flag(const char* arg, const char* name, std::string* out) {
@@ -157,18 +138,23 @@ bool parse(int argc, char** argv, Options* opt) {
     std::string v;
     const char* a = argv[i];
     if (std::strcmp(a, "--help") == 0) return false;
+    // The shared sweep surface first (--jobs, --cache, --isolate, ...).
+    std::string sweep_error;
+    switch (sweep::parse_sweep_flag(a, &opt->sweep, &sweep_error)) {
+      case sweep::FlagParse::kConsumed:
+        continue;
+      case sweep::FlagParse::kBadValue:
+        std::fprintf(stderr, "%s\n", sweep_error.c_str());
+        return false;
+      case sweep::FlagParse::kNotSweepFlag:
+        break;
+    }
     if (std::strcmp(a, "--paper-size") == 0) { opt->paper_size = true; continue; }
     if (std::strcmp(a, "--prefetch") == 0) { opt->prefetch = true; continue; }
     if (std::strcmp(a, "--ring-only-reads") == 0) { opt->ring_only_reads = true; continue; }
     if (std::strcmp(a, "--report") == 0) { opt->report = true; continue; }
-    if (std::strcmp(a, "--no-cache") == 0) { opt->no_cache = true; continue; }
-    if (parse_flag(a, "--cache", &v)) { opt->cache_dir = v; continue; }
     if (std::strcmp(a, "--verify") == 0) { opt->verify = true; continue; }
     if (std::strcmp(a, "--no-fault-recovery") == 0) { opt->fault_recovery = false; continue; }
-    if (std::strcmp(a, "--isolate") == 0) { opt->isolate = true; continue; }
-    if (parse_flag(a, "--cell-timeout", &v)) { opt->cell_timeout = parse_double("cell-timeout", v); continue; }
-    if (parse_flag(a, "--cell-retries", &v)) { opt->cell_retries = static_cast<int>(parse_int("cell-retries", v)); continue; }
-    if (parse_flag(a, "--forensics", &v)) { opt->forensics_dir = v; continue; }
     if (parse_flag(a, "--fault-apps", &v)) { opt->fault_apps = v; continue; }
     if (parse_flag(a, "--faults", &v)) { opt->faults = v; continue; }
     if (parse_flag(a, "--fault-seed", &v)) {
@@ -186,8 +172,6 @@ bool parse(int argc, char** argv, Options* opt) {
     if (parse_flag(a, "--channels", &v)) { opt->channels = static_cast<int>(parse_int("channels", v)); continue; }
     if (parse_flag(a, "--gbps", &v)) { opt->gbps = parse_double("gbps", v); continue; }
     if (parse_flag(a, "--mem", &v)) { opt->mem = parse_int("mem", v); continue; }
-    if (parse_flag(a, "--jobs", &v)) { opt->jobs = static_cast<int>(parse_int("jobs", v)); continue; }
-    if (parse_flag(a, "--intra-jobs", &v)) { opt->intra_jobs = static_cast<int>(parse_int("intra-jobs", v)); continue; }
     if (parse_flag(a, "--policy", &v)) {
       if (v == "random") opt->policy = RingReplacement::kRandom;
       else if (v == "lfu") opt->policy = RingReplacement::kLfu;
@@ -270,36 +254,10 @@ void apply_knobs(const Options& opt, MachineConfig* config,
   config->sequential_prefetch = opt.prefetch;
   config->reads_start_on_star = !opt.ring_only_reads;
   config->verify = config->verify || opt.verify;
-  if (opt.intra_jobs > 0) config->intra_jobs = opt.intra_jobs;
+  if (opt.sweep.intra_jobs > 0) config->intra_jobs = opt.sweep.intra_jobs;
   config->faults.spec = app_faulted(opt, app) ? opt.faults : "";
   if (opt.fault_seed_set) config->faults.seed = opt.fault_seed;
   config->faults.recovery = opt.fault_recovery;
-}
-
-sweep::IsolationOptions isolation_options(const Options& opt) {
-  sweep::IsolationOptions iso = sweep::default_isolation();
-  if (opt.isolate) iso.enabled = true;
-  if (opt.cell_timeout >= 0) iso.cell_timeout_s = opt.cell_timeout;
-  if (opt.cell_retries >= 0) iso.cell_retries = opt.cell_retries;
-  if (!opt.forensics_dir.empty()) iso.forensics_dir = opt.forensics_dir;
-  return iso;
-}
-
-// Cache traffic summary (printed when a cache is configured): lets a re-run
-// after a partial failure show that healthy cells were hits, and surfaces
-// store errors (read-only/full dir) as logged skips per binary.
-void print_cache_stats() {
-  const sweep::ResultCache* cache = sweep::shared_cache();
-  if (cache == nullptr) return;
-  sweep::CacheStats cs = cache->stats();
-  std::printf("cache: %llu hit(s), %llu miss(es), %llu store(s), "
-              "%llu skip(s), %llu store error(s)  [%s]\n",
-              static_cast<unsigned long long>(cs.hits),
-              static_cast<unsigned long long>(cs.misses),
-              static_cast<unsigned long long>(cs.stores),
-              static_cast<unsigned long long>(cs.skips),
-              static_cast<unsigned long long>(cs.store_errors),
-              cache->dir().c_str());
 }
 
 std::unique_ptr<apps::Workload> build_workload(const Options& opt,
@@ -339,8 +297,8 @@ int run_report(const Options& opt, const std::string& app, SystemKind kind) {
 // Results print in submission order, so the output is independent of --jobs.
 int run_sweep(const Options& opt, const std::vector<std::string>& app_names,
               const std::vector<SystemKind>& kinds) {
-  sweep::SweepDriver driver(opt.jobs);
-  driver.set_isolation(isolation_options(opt));
+  sweep::SweepDriver driver(opt.sweep.jobs);
+  driver.set_isolation(opt.sweep.isolation);
   const bool single = app_names.size() * kinds.size() == 1;
   for (const auto& app : app_names) {
     for (SystemKind kind : kinds) {
@@ -384,7 +342,8 @@ int run_sweep(const Options& opt, const std::vector<std::string>& app_names,
     }
     if (!results[i].summary.verified) rc = 1;
   }
-  print_cache_stats();
+  const std::string cache_line = sweep::format_cache_stats();
+  if (!cache_line.empty()) std::printf("%s", cache_line.c_str());
   if (sweep::stop_requested()) {
     std::fprintf(stderr,
                  "netcache_sim: interrupted by signal %d — %zu/%zu cells "
@@ -405,18 +364,13 @@ int main(int argc, char** argv) try {
     return 1;
   }
 
-  // --no-cache beats --cache beats the NETCACHE_SWEEP_CACHE environment
-  // variable (which shared_cache() reads lazily when neither flag is given).
-  if (opt.no_cache) {
-    sweep::disable_shared_cache();
-  } else if (!opt.cache_dir.empty()) {
-    sweep::configure_shared_cache(opt.cache_dir);
-  }
+  sweep::apply_cache_flags(opt.sweep);
 
   // Process-level faults are rejected outside the supervised mode the same
   // way --no-fault-recovery is rejected without --verify: there must be no
   // configuration whose *expected* behavior is an undiagnosed dead binary.
-  if (!opt.isolate && faults::spec_has_process_faults(opt.faults)) {
+  if (!opt.sweep.isolation.enabled &&
+      faults::spec_has_process_faults(opt.faults)) {
     throw ConfigError("faults", opt.faults,
                       "crash/hang faults take down the host process; run "
                       "them under --isolate so the supervisor contains the "
@@ -437,7 +391,7 @@ int main(int argc, char** argv) try {
                    "netcache_sim: --report needs a single app/system cell\n");
       return 1;
     }
-    if (opt.isolate) {
+    if (opt.sweep.isolation.enabled) {
       std::fprintf(stderr,
                    "netcache_sim: --report reads the live in-process "
                    "machine and cannot cross the --isolate boundary\n");

@@ -1,0 +1,211 @@
+#include "src/serve/client.hpp"
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "src/serve/protocol.hpp"
+
+namespace netcache::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+int connect_fd(const ClientOptions& options, std::string* error) {
+  int fd = -1;
+  if (!options.socket_path.empty()) {
+    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+      *error = "socket() failed";
+      return -1;
+    }
+    sockaddr_un addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    if (options.socket_path.size() >= sizeof(addr.sun_path)) {
+      ::close(fd);
+      *error = "socket path too long: " + options.socket_path;
+      return -1;
+    }
+    std::strncpy(addr.sun_path, options.socket_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      *error = "connect(" + options.socket_path + ") failed: " +
+               std::strerror(errno);
+      ::close(fd);
+      return -1;
+    }
+  } else {
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+      *error = "socket() failed";
+      return -1;
+    }
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(options.tcp_port));
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      char why[96];
+      std::snprintf(why, sizeof(why), "connect(127.0.0.1:%d) failed: %s",
+                    options.tcp_port, std::strerror(errno));
+      *error = why;
+      ::close(fd);
+      return -1;
+    }
+  }
+  return fd;
+}
+
+bool send_all(int fd, const std::string& bytes, std::string* error) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + off, bytes.size() - off,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      *error = std::string("send failed: ") + std::strerror(errno);
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+ServeReply submit_grid(const ClientOptions& options, const GridSpec& spec,
+                       const std::function<void(const ServedCell&)>& on_cell) {
+  ServeReply reply;
+  const bool bounded = options.timeout_s > 0;
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(options.timeout_s));
+
+  std::string error;
+  const int fd = connect_fd(options, &error);
+  if (fd < 0) {
+    reply.reject_reason = error;
+    return reply;
+  }
+
+  Frame request;
+  request.type = "request";
+  if (options.request_timeout_s > 0) {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%a", options.request_timeout_s);
+    request.meta["timeout"] = buf;
+  }
+  request.payload = serialize_spec(spec);
+  if (!send_all(fd, encode_frame(request), &error)) {
+    reply.reject_reason = error;
+    ::close(fd);
+    return reply;
+  }
+
+  FrameReader reader;
+  Frame frame;
+  bool finished = false;
+  while (!finished) {
+    // Pull buffered frames first, then block (bounded) for more bytes.
+    bool progressed = false;
+    while (reader.next(&frame)) {
+      progressed = true;
+      if (frame.type == "ack") {
+        reply.accepted = true;
+        reply.total_cells = static_cast<std::size_t>(
+            std::strtoull(frame.get("cells", "0").c_str(), nullptr, 10));
+        continue;
+      }
+      if (frame.type == "cell") {
+        ServedCell cell;
+        cell.index = static_cast<std::size_t>(
+            std::strtoull(frame.get("index", "0").c_str(), nullptr, 10));
+        cell.label = frame.get("label");
+        cell.ok = frame.get("ok") == "1";
+        cell.from_cache = frame.get("from_cache") == "1";
+        if (cell.ok) {
+          if (!core::deserialize_summary(frame.payload, &cell.summary)) {
+            cell.ok = false;
+            cell.error = "client: undecodable summary payload";
+          }
+        } else {
+          cell.error = frame.payload;
+        }
+        if (on_cell) on_cell(cell);
+        reply.cells.push_back(std::move(cell));
+        continue;
+      }
+      if (frame.type == "done") {
+        reply.done = true;
+        reply.completed = static_cast<std::size_t>(
+            std::strtoull(frame.get("completed", "0").c_str(), nullptr, 10));
+        reply.failed = static_cast<std::size_t>(
+            std::strtoull(frame.get("failed", "0").c_str(), nullptr, 10));
+        reply.deadline_exceeded = frame.get("deadline_exceeded") == "1";
+        finished = true;
+        break;
+      }
+      if (frame.type == "reject") {
+        reply.reject_reason = frame.payload;
+        finished = true;
+        break;
+      }
+      reply.reject_reason = "protocol error: unexpected frame type '" +
+                            frame.type + "'";
+      finished = true;
+      break;
+    }
+    if (finished) break;
+    if (reader.error()) {
+      reply.reject_reason = "protocol error: " + reader.error_text();
+      break;
+    }
+    if (progressed) continue;  // more frames may already be buffered
+
+    int wait_ms = 60000;
+    if (bounded) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                            deadline - Clock::now())
+                            .count();
+      if (left <= 0) {
+        reply.reject_reason = "client timeout waiting for the daemon";
+        break;
+      }
+      wait_ms = static_cast<int>(std::min<long long>(left, 60000));
+    }
+    pollfd pfd{fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, wait_ms);
+    if (ready < 0 && errno == EINTR) continue;
+    if (ready == 0) continue;  // deadline re-checked above
+    char chunk[65536];
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n > 0) {
+      reader.append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EINTR || errno == EAGAIN)) continue;
+    reply.reject_reason = reply.accepted
+                              ? "connection lost mid-grid (daemon died? "
+                                "re-submit to resume from the cache)"
+                              : "connection closed before a reply";
+    break;
+  }
+  ::close(fd);
+  return reply;
+}
+
+}  // namespace netcache::serve

@@ -1,0 +1,63 @@
+// Client library for netcache_sweepd: connect, submit one GridSpec, stream
+// the per-cell results back. netcache_sweepc is a thin CLI over this; tests
+// drive it directly against an in-test daemon.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/core/run_summary.hpp"
+#include "src/serve/spec.hpp"
+
+namespace netcache::serve {
+
+struct ClientOptions {
+  /// Unix-domain socket path ("" = use tcp_port on 127.0.0.1).
+  std::string socket_path;
+  int tcp_port = 0;
+  /// Client-side wall-clock bound on the whole exchange (connect included);
+  /// 0 = wait forever.
+  double timeout_s = 0;
+  /// Forwarded to the daemon as the request's server-side deadline
+  /// (`timeout` meta); 0 = none.
+  double request_timeout_s = 0;
+};
+
+/// One cell as served: `index` is its position in the request's expanded
+/// grid (apps outer / systems inner, the shared to_cells() order).
+struct ServedCell {
+  std::size_t index = 0;
+  std::string label;
+  bool ok = false;
+  bool from_cache = false;
+  core::RunSummary summary;  // valid when ok
+  std::string error;         // diagnosis when !ok
+};
+
+struct ServeReply {
+  /// The daemon admitted the request (`ack` received). False with
+  /// reject_reason set on overload/drain/malformed-spec rejection or any
+  /// transport problem.
+  bool accepted = false;
+  /// The grid ran to its `done` frame. False (with reject_reason holding
+  /// the transport diagnosis) when the connection died mid-grid.
+  bool done = false;
+  bool deadline_exceeded = false;
+  std::string reject_reason;
+  std::size_t total_cells = 0;
+  std::size_t completed = 0;  // done-frame counts
+  std::size_t failed = 0;
+  /// Every cell frame received, in arrival order (completion order, not
+  /// index order).
+  std::vector<ServedCell> cells;
+};
+
+/// Submits `spec` and blocks until done/reject/timeout/disconnect. When
+/// `on_cell` is set it fires per cell as results stream in (arrival order).
+ServeReply submit_grid(const ClientOptions& options, const GridSpec& spec,
+                       const std::function<void(const ServedCell&)>& on_cell =
+                           nullptr);
+
+}  // namespace netcache::serve

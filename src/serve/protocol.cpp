@@ -1,0 +1,146 @@
+#include "src/serve/protocol.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace netcache::serve {
+
+namespace {
+
+constexpr const char* kFrameMagic = "netcache-serve-frame v1";
+
+bool clean_token(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (c == '\n' || c == ' ') return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+const std::string& Frame::get(const std::string& key,
+                              const std::string& fallback) const {
+  auto it = meta.find(key);
+  return it == meta.end() ? fallback : it->second;
+}
+
+std::string encode_frame(const Frame& frame) {
+  // Caller bugs (not remote input) — fail loudly, not with a torn stream.
+  if (!clean_token(frame.type) || frame.meta.size() > kMaxFrameMetaLines ||
+      frame.payload.size() > kMaxFramePayload) {
+    std::fprintf(stderr, "encode_frame: malformed frame (type '%s')\n",
+                 frame.type.c_str());
+    std::abort();
+  }
+  std::string out = kFrameMagic;
+  out += "\ntype ";
+  out += frame.type;
+  out += '\n';
+  for (const auto& [key, value] : frame.meta) {
+    if (!clean_token(key) || value.find('\n') != std::string::npos ||
+        key == "type" || key == "bytes") {
+      std::fprintf(stderr, "encode_frame: malformed meta key '%s'\n",
+                   key.c_str());
+      std::abort();
+    }
+    out += key;
+    out += ' ';
+    out += value;
+    out += '\n';
+  }
+  char bytes_line[48];
+  std::snprintf(bytes_line, sizeof(bytes_line), "bytes %zu\n",
+                frame.payload.size());
+  out += bytes_line;
+  out += frame.payload;
+  out += "end\n";
+  return out;
+}
+
+void FrameReader::append(const char* data, std::size_t n) {
+  if (error_) return;
+  buf_.append(data, n);
+  // Belt-and-suspenders memory bound: a peer streaming garbage that never
+  // forms a header must not grow the buffer without limit.
+  if (buf_.size() > kMaxFramePayload * 2) {
+    fail("frame buffer overrun (no frame within the size bound)");
+  }
+}
+
+bool FrameReader::fail(const std::string& why) {
+  error_ = true;
+  error_text_ = why;
+  buf_.clear();
+  return false;
+}
+
+bool FrameReader::next(Frame* out) {
+  if (error_) return false;
+  const std::string magic = std::string(kFrameMagic) + "\n";
+  if (buf_.size() < magic.size()) {
+    // Early poison detection: a stream that can no longer match the magic
+    // should fail now, not after kMaxFramePayload bytes of garbage.
+    if (buf_.compare(0, buf_.size(), magic, 0, buf_.size()) != 0 &&
+        !buf_.empty()) {
+      return fail("bad frame magic");
+    }
+    return false;
+  }
+  if (buf_.compare(0, magic.size(), magic) != 0) return fail("bad frame magic");
+
+  Frame frame;
+  std::size_t pos = magic.size();
+  std::size_t meta_lines = 0;
+  bool have_bytes = false;
+  std::size_t payload_bytes = 0;
+  while (true) {
+    const std::size_t eol = buf_.find('\n', pos);
+    if (eol == std::string::npos) {
+      // Header incomplete. Bound it: headers are short.
+      if (buf_.size() - pos > 4096) return fail("unterminated frame header");
+      return false;
+    }
+    const std::string line = buf_.substr(pos, eol - pos);
+    pos = eol + 1;
+    const std::size_t space = line.find(' ');
+    if (space == std::string::npos || space == 0) {
+      return fail("malformed header line '" + line + "'");
+    }
+    const std::string key = line.substr(0, space);
+    const std::string value = line.substr(space + 1);
+    if (key == "bytes") {
+      char* end = nullptr;
+      unsigned long long n = std::strtoull(value.c_str(), &end, 10);
+      if (value.empty() || end == value.c_str() || *end != '\0' ||
+          n > kMaxFramePayload) {
+        return fail("bad payload size '" + value + "'");
+      }
+      payload_bytes = static_cast<std::size_t>(n);
+      have_bytes = true;
+      break;  // payload follows
+    }
+    if (key == "type") {
+      if (!frame.type.empty()) return fail("duplicate type line");
+      frame.type = value;
+      continue;
+    }
+    if (frame.type.empty()) return fail("first header line must be the type");
+    if (++meta_lines > kMaxFrameMetaLines) return fail("too many meta lines");
+    if (!frame.meta.emplace(key, value).second) {
+      return fail("duplicate meta key '" + key + "'");
+    }
+  }
+  if (!have_bytes || frame.type.empty()) return fail("incomplete header");
+  if (buf_.size() < pos + payload_bytes + 4) return false;  // need more bytes
+  if (buf_.compare(pos + payload_bytes, 4, "end\n") != 0) {
+    return fail("missing frame trailer");
+  }
+  frame.payload = buf_.substr(pos, payload_bytes);
+  buf_.erase(0, pos + payload_bytes + 4);
+  *out = std::move(frame);
+  return true;
+}
+
+}  // namespace netcache::serve

@@ -1,0 +1,85 @@
+// Length-prefixed frame protocol for the sweep-serving daemon.
+//
+// netcache_sweepd and its clients exchange self-delimiting text frames over
+// a byte stream (Unix or TCP socket):
+//
+//   netcache-serve-frame v1\n
+//   type <t>\n
+//   <key> <value>\n        (zero or more metadata lines, key order fixed
+//                           by the sender)
+//   bytes <N>\n
+//   <N payload bytes>end\n
+//
+// The payload carries the domain serializations that already exist —
+// serialize_spec() for a grid request, the result cache's %a hex-float
+// serialize_summary() for a finished cell — so a served result is
+// byte-identical to an in-process run by construction.
+//
+// Frame types (meta fields in parentheses):
+//   request  client -> server  payload = GridSpec      (timeout: optional
+//                              per-request deadline in seconds, %a text)
+//   ack      server -> client  grid admitted           (cells: total count)
+//   cell     server -> client  one finished cell       (index, label, ok,
+//                              from_cache; payload = summary or error text)
+//   done     server -> client  grid finished           (completed, failed)
+//   reject   server -> client  request refused; payload = diagnosis
+//                              (overload, draining, malformed spec)
+//
+// Robustness: frames bound their own memory (payload capped at 16 MiB, meta
+// at 64 lines); anything malformed poisons the stream — there is no way to
+// resynchronize a length-prefixed protocol after a framing error, so the
+// reader reports an error and the connection is dropped.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+
+namespace netcache::serve {
+
+struct Frame {
+  std::string type;
+  std::map<std::string, std::string> meta;
+  std::string payload;
+
+  /// Meta accessor: value for `key`, or `fallback` when absent.
+  const std::string& get(const std::string& key,
+                         const std::string& fallback = {}) const;
+};
+
+/// Hard cap on one frame's payload (16 MiB) — an admission bound, not a
+/// tuning knob: no legitimate grid spec or cell summary comes close.
+constexpr std::size_t kMaxFramePayload = 16u << 20;
+/// Hard cap on metadata lines per frame.
+constexpr std::size_t kMaxFrameMetaLines = 64;
+
+/// Serializes one frame (validates the caps; aborts on a caller bug like an
+/// embedded newline in a meta value).
+std::string encode_frame(const Frame& frame);
+
+/// Incremental decoder for a stream of frames. Feed bytes as they arrive;
+/// pop complete frames. A framing violation (bad magic, oversized payload,
+/// malformed header) latches error() — the connection is unrecoverable.
+class FrameReader {
+ public:
+  void append(const char* data, std::size_t n);
+
+  /// True when a complete frame was extracted into *out. False when more
+  /// bytes are needed or the stream is poisoned (check error()).
+  bool next(Frame* out);
+
+  bool error() const { return error_; }
+  const std::string& error_text() const { return error_text_; }
+
+  /// Bytes currently buffered (tests; backpressure accounting).
+  std::size_t buffered() const { return buf_.size(); }
+
+ private:
+  bool fail(const std::string& why);
+
+  std::string buf_;
+  bool error_ = false;
+  std::string error_text_;
+};
+
+}  // namespace netcache::serve

@@ -1,0 +1,97 @@
+// GridSpec — the declarative, serializable description of one sweep grid.
+//
+// Every front end that runs a grid (netcache_sim, netcache_sweepc,
+// netcache_sweepd) builds the same GridSpec from the same flags, expands it
+// with the same to_cells(), and therefore simulates byte-identical cells —
+// the serving daemon's results match an in-process run by construction, not
+// by convention. The spec is what travels in a `request` frame: a flat
+// key-value text block (%a hex-floats for doubles, so parse(serialize(s))
+// is exact) with no closures, unlike sweep::Cell.
+//
+// The knob set mirrors netcache_sim: the paper's parameter-space study axes
+// (system, nodes, L2 size, channels, rate, memory latency, replacement,
+// associativity, prefetch, read start) plus the repository's verification
+// and fault-injection extensions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/config.hpp"
+#include "src/sweep/flags.hpp"
+#include "src/sweep/sweep.hpp"
+
+namespace netcache::serve {
+
+struct GridSpec {
+  std::string app = "sor";         // comma list or "all"
+  std::string system = "netcache";  // comma list or "all"
+  int nodes = 16;
+  double scale = 1.0;
+  bool paper_size = false;
+  int l2_kb = 16;
+  int channels = 128;
+  double gbps = 10.0;
+  std::uint64_t mem = 76;
+  RingReplacement policy = RingReplacement::kRandom;
+  RingAssociativity assoc = RingAssociativity::kFullyAssociative;
+  bool prefetch = false;
+  bool ring_only_reads = false;
+  bool verify = false;
+  std::string faults;      // fault-injection spec ("" = none)
+  std::string fault_apps;  // apply faults only to these apps ("" = all)
+  bool fault_seed_set = false;
+  std::uint64_t fault_seed = 0;
+  bool fault_recovery = true;
+};
+
+/// Canonical text serialization (magic line, fixed field order, "end"
+/// sentinel). parse_spec() round-trips it exactly.
+std::string serialize_spec(const GridSpec& spec);
+
+/// Strict inverse of serialize_spec: any missing/unknown/malformed field is
+/// a parse failure with *error set (remote input is never trusted).
+bool parse_spec(const std::string& text, GridSpec* out, std::string* error);
+
+/// Splits a comma list, dropping empty segments ("a,,b" -> {a, b}).
+std::vector<std::string> split_list(const std::string& v);
+
+/// "netcache" | "netcache-noring" | "lambdanet" | "dmon-u" | "dmon-i".
+bool parse_system_kind(const std::string& name, SystemKind* out);
+
+/// The app list the spec names ("all" -> every paper workload). Throws
+/// ConfigError when empty.
+std::vector<std::string> resolve_apps(const GridSpec& spec);
+
+/// The system list ("all" -> all five). Throws ConfigError on an unknown or
+/// empty system list.
+std::vector<SystemKind> resolve_systems(const GridSpec& spec);
+
+/// True when `app` is subject to spec.faults (fault_apps narrows the blast
+/// radius to a named subset; empty means every app).
+bool app_faulted(const GridSpec& spec, const std::string& app);
+
+/// Applies the spec's machine knobs to `config` for one `app` cell —
+/// exactly what the expanded cells' tweak runs.
+void apply_spec_knobs(const GridSpec& spec, const std::string& app,
+                      MachineConfig* config);
+
+/// Expands the spec into sweep cells, apps outer / systems inner — the
+/// submission order every front end shares. Throws ConfigError on a bad
+/// app/system list.
+std::vector<sweep::Cell> to_cells(const GridSpec& spec);
+
+/// Tries to consume one "--name=value" grid-knob argument (--app, --system,
+/// --nodes, --scale, --paper-size, --l2-kb, --channels, --gbps, --mem,
+/// --policy, --assoc, --prefetch, --ring-only-reads, --verify, --faults,
+/// --fault-apps, --fault-seed, --no-fault-recovery). Same contract as
+/// sweep::parse_sweep_flag.
+sweep::FlagParse parse_grid_flag(const char* arg, GridSpec* spec,
+                                 std::string* error);
+
+/// Usage text for the grid flags (two-space indent, trailing newline).
+/// `app_names` lists the valid --app values in the first line.
+std::string grid_flags_help();
+
+}  // namespace netcache::serve

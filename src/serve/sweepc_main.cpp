@@ -1,0 +1,170 @@
+// netcache_sweepc — submit one grid to a running netcache_sweepd and print
+// the results exactly as an in-process `netcache_sim` sweep would, so the
+// two are byte-diffable:
+//
+//   ./netcache_sweepd --socket=/tmp/nc.sock --cache=/tmp/nc-cache &
+//   ./netcache_sweepc --socket=/tmp/nc.sock --app=all --system=netcache
+//
+// Cells stream back in completion order; the client buffers and prints them
+// in grid order (apps outer, systems inner), independent of daemon
+// scheduling. Exit 0 = all cells ok+verified, 1 = some cell failed or was
+// unverified, 2 = rejected / transport failure (nothing to parse).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/common/sim_error.hpp"
+#include "src/core/run_summary.hpp"
+#include "src/serve/client.hpp"
+#include "src/serve/spec.hpp"
+
+using namespace netcache;
+
+namespace {
+
+void usage() {
+  std::printf(
+      "netcache_sweepc — client for the netcache_sweepd sweep daemon\n\n"
+      "  --socket=PATH          connect to a Unix-domain socket\n"
+      "  --tcp-port=N           connect to 127.0.0.1:N instead\n"
+      "  --timeout=S            give up client-side after S seconds\n"
+      "  --request-timeout=S    ask the daemon to fail the request after S\n"
+      "                         seconds (partial results still stream)\n"
+      "  --stream               print cells as they arrive (completion\n"
+      "                         order) instead of buffering to grid order\n"
+      "%s",
+      serve::grid_flags_help().c_str());
+}
+
+bool parse_seconds(const char* text, double* out) {
+  char* end = nullptr;
+  const double s = std::strtod(text, &end);
+  if (*text == '\0' || end == text || *end != '\0' || s < 0) return false;
+  *out = s;
+  return true;
+}
+
+void print_cell(const serve::ServedCell& cell, bool single) {
+  if (!cell.ok) {
+    std::fprintf(stderr, "%s: FAILED: %s\n", cell.label.c_str(),
+                 cell.error.c_str());
+    return;
+  }
+  if (single) {
+    std::printf("%s\n", core::format_summary(cell.summary).c_str());
+  } else {
+    std::printf("%-24s %s\n", cell.label.c_str(),
+                core::format_summary(cell.summary).c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  serve::ClientOptions options;
+  serve::GridSpec spec;
+  bool stream = false;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strcmp(a, "--help") == 0) {
+      usage();
+      return 0;
+    }
+    std::string error;
+    switch (serve::parse_grid_flag(a, &spec, &error)) {
+      case sweep::FlagParse::kConsumed:
+        continue;
+      case sweep::FlagParse::kBadValue:
+        std::fprintf(stderr, "netcache_sweepc: %s\n", error.c_str());
+        return 2;
+      case sweep::FlagParse::kNotSweepFlag:
+        break;
+    }
+    if (std::strncmp(a, "--socket=", 9) == 0 && a[9] != '\0') {
+      options.socket_path = a + 9;
+      continue;
+    }
+    if (std::strncmp(a, "--tcp-port=", 11) == 0) {
+      char* end = nullptr;
+      const long n = std::strtol(a + 11, &end, 10);
+      if (end != a + 11 && *end == '\0' && n > 0 && n < 65536) {
+        options.tcp_port = static_cast<int>(n);
+        continue;
+      }
+    }
+    if (std::strncmp(a, "--timeout=", 10) == 0 &&
+        parse_seconds(a + 10, &options.timeout_s)) {
+      continue;
+    }
+    if (std::strncmp(a, "--request-timeout=", 18) == 0 &&
+        parse_seconds(a + 18, &options.request_timeout_s)) {
+      continue;
+    }
+    if (std::strcmp(a, "--stream") == 0) {
+      stream = true;
+      continue;
+    }
+    std::fprintf(stderr, "netcache_sweepc: unknown argument '%s'\n", a);
+    usage();
+    return 2;
+  }
+  if (options.socket_path.empty() && options.tcp_port == 0) {
+    std::fprintf(stderr,
+                 "netcache_sweepc: need --socket=PATH or --tcp-port=N\n");
+    usage();
+    return 2;
+  }
+
+  std::size_t total = 0;
+  try {
+    total = serve::to_cells(spec).size();
+  } catch (const ConfigError& e) {
+    std::fprintf(stderr, "netcache_sweepc: %s\n", e.what());
+    return 2;
+  }
+  const bool single = total == 1;
+
+  std::function<void(const serve::ServedCell&)> on_cell;
+  if (stream) {
+    on_cell = [single](const serve::ServedCell& cell) {
+      print_cell(cell, single);
+      std::fflush(stdout);
+    };
+  }
+  const serve::ServeReply reply = serve::submit_grid(options, spec, on_cell);
+  if (!reply.reject_reason.empty()) {
+    std::fprintf(stderr, "netcache_sweepc: %s\n",
+                 reply.reject_reason.c_str());
+    return 2;
+  }
+
+  int rc = 0;
+  if (!stream) {
+    // Re-order completion-order arrivals into grid order so the output is
+    // byte-identical to `netcache_sim`'s submission-order report.
+    std::vector<const serve::ServedCell*> by_index(reply.total_cells,
+                                                   nullptr);
+    for (const serve::ServedCell& cell : reply.cells) {
+      if (cell.index < by_index.size()) by_index[cell.index] = &cell;
+    }
+    for (const serve::ServedCell* cell : by_index) {
+      if (cell == nullptr) continue;  // deadline-exceeded partial grid
+      print_cell(*cell, single);
+    }
+  }
+  for (const serve::ServedCell& cell : reply.cells) {
+    if (!cell.ok || !cell.summary.verified) rc = 1;
+  }
+  if (reply.deadline_exceeded) {
+    std::fprintf(stderr,
+                 "netcache_sweepc: request deadline exceeded — %zu/%zu "
+                 "cells delivered (completed cells are cached; re-submit "
+                 "to resume)\n",
+                 reply.cells.size(), reply.total_cells);
+    rc = 1;
+  }
+  return rc;
+}

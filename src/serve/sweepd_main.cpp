@@ -1,0 +1,118 @@
+// netcache_sweepd — the long-running sweep-serving daemon.
+//
+//   ./netcache_sweepd --socket=/tmp/netcache.sock --cache=/var/cache/nc
+//   ./netcache_sweepd --tcp-port=7474 --jobs=8 --cell-timeout=120
+//
+// Clients (netcache_sweepc, or anything speaking the frame protocol in
+// DESIGN.md section 15) submit grid requests; cells shared across
+// concurrent requests simulate exactly once; results stream back as they
+// land, byte-identical to an in-process run. SIGTERM drains gracefully.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/serve/server.hpp"
+#include "src/sweep/flags.hpp"
+#include "src/sweep/result_cache.hpp"
+
+using namespace netcache;
+
+namespace {
+
+void usage() {
+  std::printf(
+      "netcache_sweepd — sweep-serving daemon\n\n"
+      "  --socket=PATH      listen on a Unix-domain socket at PATH\n"
+      "  --tcp-port=N       listen on 127.0.0.1:N instead\n"
+      "  --max-queue=N      admission bound on queued cells; excess\n"
+      "                     requests are rejected with a diagnosis\n"
+      "                     (default 256)\n"
+      "  --max-conns=N      concurrent client connections (default 64)\n"
+      "  --drain-timeout=S  grace period for running cells after SIGTERM\n"
+      "                     before they are killed (default 30)\n"
+      "  --verbose          log admissions/harvests/drain to stderr\n"
+      "%s\n"
+      "Workers are always process-isolated (--isolate is implied); --cache\n"
+      "enables the warm path and crash-resume. Stop with SIGTERM: the\n"
+      "daemon stops admitting, finishes or fails in-flight cells in-band,\n"
+      "flushes every client, and exits 0.\n",
+      sweep::sweep_flags_help());
+}
+
+bool parse_long(const char* text, long* out) {
+  char* end = nullptr;
+  long n = std::strtol(text, &end, 10);
+  if (*text == '\0' || end == text || *end != '\0') return false;
+  *out = n;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  serve::ServerOptions options;
+  sweep::SweepFlags flags;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strcmp(a, "--help") == 0) {
+      usage();
+      return 0;
+    }
+    std::string error;
+    switch (sweep::parse_sweep_flag(a, &flags, &error)) {
+      case sweep::FlagParse::kConsumed:
+        continue;
+      case sweep::FlagParse::kBadValue:
+        std::fprintf(stderr, "netcache_sweepd: %s\n", error.c_str());
+        return 1;
+      case sweep::FlagParse::kNotSweepFlag:
+        break;
+    }
+    long n = 0;
+    if (std::strncmp(a, "--socket=", 9) == 0 && a[9] != '\0') {
+      options.socket_path = a + 9;
+      continue;
+    }
+    if (std::strncmp(a, "--tcp-port=", 11) == 0 &&
+        parse_long(a + 11, &n) && n > 0 && n < 65536) {
+      options.tcp_port = static_cast<int>(n);
+      continue;
+    }
+    if (std::strncmp(a, "--max-queue=", 12) == 0 && parse_long(a + 12, &n) &&
+        n > 0) {
+      options.max_queue = static_cast<std::size_t>(n);
+      continue;
+    }
+    if (std::strncmp(a, "--max-conns=", 12) == 0 && parse_long(a + 12, &n) &&
+        n > 0) {
+      options.max_connections = static_cast<std::size_t>(n);
+      continue;
+    }
+    if (std::strncmp(a, "--drain-timeout=", 16) == 0) {
+      char* end = nullptr;
+      const double s = std::strtod(a + 16, &end);
+      if (end != a + 16 && *end == '\0' && s >= 0) {
+        options.drain_timeout_s = s;
+        continue;
+      }
+    }
+    if (std::strcmp(a, "--verbose") == 0) {
+      options.verbose = true;
+      continue;
+    }
+    std::fprintf(stderr, "netcache_sweepd: unknown argument '%s'\n", a);
+    usage();
+    return 1;
+  }
+  if (options.socket_path.empty() && options.tcp_port == 0) {
+    std::fprintf(stderr,
+                 "netcache_sweepd: need --socket=PATH or --tcp-port=N\n");
+    usage();
+    return 1;
+  }
+  options.jobs = flags.jobs;
+  options.isolation = flags.isolation;
+  sweep::apply_cache_flags(flags);
+  return serve::run_server(options, sweep::shared_cache());
+}

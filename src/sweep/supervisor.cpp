@@ -162,7 +162,9 @@ struct Retry {
   Clock::time_point ready;
 };
 
-bool decode_frame(const std::string& buf, CellResult* out) {
+}  // namespace
+
+bool decode_cell_frame(const std::string& buf, CellResult* out) {
   const std::string magic = std::string(kFrameMagic) + "\n";
   if (buf.compare(0, magic.size(), magic) != 0) return false;
   std::size_t pos = magic.size();
@@ -193,6 +195,7 @@ bool decode_frame(const std::string& buf, CellResult* out) {
 }
 
 std::string read_stderr_tail(const std::string& path, std::size_t max_bytes) {
+  // (exported: the serving daemon harvests worker stderr the same way)
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) return {};
   std::fseek(f, 0, SEEK_END);
@@ -208,7 +211,7 @@ std::string read_stderr_tail(const std::string& path, std::size_t max_bytes) {
   return out;
 }
 
-std::string sanitize_label(const std::string& label) {
+static std::string sanitize_label(const std::string& label) {
   std::string out;
   for (char c : label) {
     out += std::isalnum(static_cast<unsigned char>(c)) ? c : '-';
@@ -261,7 +264,7 @@ void write_forensics(const std::string& dir, const Cell& cell,
   std::fclose(f);
 }
 
-std::string stderr_capture_path(std::size_t cell, int attempt) {
+static std::string stderr_capture_path(std::size_t cell, int attempt) {
   const char* tmp = std::getenv("TMPDIR");
   char buf[256];
   std::snprintf(buf, sizeof(buf), "%s/netcache-cell-%ld-%zu-%d.stderr",
@@ -270,7 +273,60 @@ std::string stderr_capture_path(std::size_t cell, int attempt) {
   return buf;
 }
 
-}  // namespace
+bool spawn_cell_child(const Cell& cell, int jobs, std::size_t index,
+                      int attempt, const std::vector<int>& close_in_child,
+                      ChildProc* out, std::string* error) {
+  int fds[2];
+  if (::pipe(fds) != 0) {
+    if (error != nullptr) *error = "supervisor: pipe() failed";
+    return false;
+  }
+  const std::string err_path = stderr_capture_path(index, attempt);
+  pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(fds[0]);
+    ::close(fds[1]);
+    if (error != nullptr) *error = "supervisor: fork() failed";
+    return false;
+  }
+  if (pid == 0) {
+    // Child: default signal dispositions (a terminal Ctrl+C must kill the
+    // children while the parent shuts down gracefully), private stderr
+    // capture file, and no inherited parent fds but our own pipe write end.
+    std::signal(SIGINT, SIG_DFL);
+    std::signal(SIGTERM, SIG_DFL);
+    std::signal(SIGPIPE, SIG_DFL);
+    ::close(fds[0]);
+    for (int fd : close_in_child) ::close(fd);
+    int err_fd = ::open(err_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0600);
+    if (err_fd >= 0) {
+      ::dup2(err_fd, 2);
+      ::close(err_fd);
+    }
+    // Recompute the jobs x intra-jobs cap in the child: this process tree
+    // runs up to `jobs` children at once, each of which would otherwise
+    // re-read the uncapped NETCACHE_INTRA_JOBS through Machine's
+    // environment fallback and oversubscribe the host. The capped value is
+    // baked into the cell and the variable dropped so it cannot re-apply.
+    Cell child_cell = cell;
+    child_cell.intra_jobs = effective_child_intra_jobs(jobs, child_cell);
+    ::unsetenv("NETCACHE_INTRA_JOBS");
+    run_cell_entrypoint(child_cell, fds[1]);
+  }
+  // Parent.
+  ::close(fds[1]);
+  ::fcntl(fds[0], F_SETFL, O_NONBLOCK);
+  out->pid = pid;
+  out->fd = fds[0];
+  out->stderr_path = err_path;
+  return true;
+}
+
+double attempt_timeout_s(const IsolationOptions& opts, int attempt) {
+  if (opts.cell_timeout_s <= 0) return 0;
+  const int shift = std::clamp(attempt - 1, 0, 3);
+  return opts.cell_timeout_s * static_cast<double>(1 << shift);
+}
 
 std::vector<CellResult> run_supervised(const std::vector<Cell>& cells,
                                        int jobs,
@@ -295,60 +351,31 @@ std::vector<CellResult> run_supervised(const std::vector<Cell>& cells,
   std::vector<Retry> delayed;
 
   auto spawn_attempt = [&](std::size_t cell_index, int attempt_number) {
-    int fds[2];
-    if (::pipe(fds) != 0) {
+    std::vector<int> close_in_child;
+    close_in_child.reserve(active.size());
+    for (const Attempt& a : active) close_in_child.push_back(a.fd);
+    ChildProc child;
+    std::string spawn_error;
+    if (!spawn_cell_child(cells[cell_index], jobs, cell_index, attempt_number,
+                          close_in_child, &child, &spawn_error)) {
       results[cell_index].ok = false;
-      results[cell_index].error = "supervisor: pipe() failed";
+      results[cell_index].error = spawn_error;
       return;
     }
-    const std::string err_path =
-        stderr_capture_path(cell_index, attempt_number);
-    pid_t pid = ::fork();
-    if (pid < 0) {
-      ::close(fds[0]);
-      ::close(fds[1]);
-      results[cell_index].ok = false;
-      results[cell_index].error = "supervisor: fork() failed";
-      return;
-    }
-    if (pid == 0) {
-      // Child: default signal dispositions (a terminal Ctrl+C must kill the
-      // children while the parent shuts down gracefully), private stderr
-      // capture file, and no inherited pipe ends but our own write end.
-      std::signal(SIGINT, SIG_DFL);
-      std::signal(SIGTERM, SIG_DFL);
-      ::close(fds[0]);
-      for (const Attempt& a : active) ::close(a.fd);
-      int err_fd = ::open(err_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC,
-                          0600);
-      if (err_fd >= 0) {
-        ::dup2(err_fd, 2);
-        ::close(err_fd);
-      }
-      // Recompute the jobs x intra-jobs cap in the child: this process tree
-      // runs up to `jobs` children at once, each of which would otherwise
-      // re-read the uncapped NETCACHE_INTRA_JOBS through Machine's
-      // environment fallback and oversubscribe the host. The capped value is
-      // baked into the cell and the variable dropped so it cannot re-apply.
-      Cell child_cell = cells[cell_index];
-      child_cell.intra_jobs = effective_child_intra_jobs(jobs, child_cell);
-      ::unsetenv("NETCACHE_INTRA_JOBS");
-      run_cell_entrypoint(child_cell, fds[1]);
-    }
-    // Parent.
-    ::close(fds[1]);
-    ::fcntl(fds[0], F_SETFL, O_NONBLOCK);
     Attempt a;
-    a.pid = pid;
-    a.fd = fds[0];
+    a.pid = child.pid;
+    a.fd = child.fd;
     a.cell = cell_index;
     a.number = attempt_number;
-    a.stderr_path = err_path;
-    if (opts.cell_timeout_s > 0) {
+    a.stderr_path = child.stderr_path;
+    // Retries get an escalated wall-clock budget (x2 per attempt, capped):
+    // a slow-but-correct cell should not burn its whole retry budget on
+    // identical SIGKILLs.
+    const double timeout_s = attempt_timeout_s(opts, attempt_number);
+    if (timeout_s > 0) {
       a.has_deadline = true;
       a.deadline = Clock::now() + std::chrono::duration_cast<Clock::duration>(
-                                      std::chrono::duration<double>(
-                                          opts.cell_timeout_s));
+                                      std::chrono::duration<double>(timeout_s));
     }
     active.push_back(std::move(a));
   };
@@ -359,7 +386,7 @@ std::vector<CellResult> run_supervised(const std::vector<Cell>& cells,
     while (::waitpid(a.pid, &status, 0) < 0 && errno == EINTR) {
     }
     CellResult r;
-    const bool frame_ok = decode_frame(a.buf, &r);
+    const bool frame_ok = decode_cell_frame(a.buf, &r);
     const bool clean_exit = WIFEXITED(status) && WEXITSTATUS(status) == 0;
     if (frame_ok && clean_exit && !a.timed_out) {
       // In-band outcome — success or a diagnosed (deterministic) failure.

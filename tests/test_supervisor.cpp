@@ -8,12 +8,18 @@
 
 #include <gtest/gtest.h>
 
+#include <cerrno>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <string>
+#include <thread>
 #include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include "src/apps/workload.hpp"
 #include "src/core/run_summary.hpp"
@@ -345,6 +351,109 @@ TEST_F(SupervisorTest, StopFlagMarksThreadedCellsInterrupted) {
     EXPECT_NE(r.error.find("interrupted"), std::string::npos) << r.error;
   }
   sweep::clear_stop();
+}
+
+TEST(AttemptTimeout, EscalatesTwoXPerRetryCappedAtEightX) {
+  sweep::IsolationOptions opts;
+  opts.enabled = true;
+  opts.cell_timeout_s = 10.0;
+  // A cell that timed out once may simply be near the budget, not hung:
+  // each retry doubles the allowance so a slow-but-honest cell can finish,
+  // capped at 8x so a true livelock still dies promptly.
+  EXPECT_DOUBLE_EQ(sweep::attempt_timeout_s(opts, 1), 10.0);
+  EXPECT_DOUBLE_EQ(sweep::attempt_timeout_s(opts, 2), 20.0);
+  EXPECT_DOUBLE_EQ(sweep::attempt_timeout_s(opts, 3), 40.0);
+  EXPECT_DOUBLE_EQ(sweep::attempt_timeout_s(opts, 4), 80.0);
+  EXPECT_DOUBLE_EQ(sweep::attempt_timeout_s(opts, 5), 80.0);
+  EXPECT_DOUBLE_EQ(sweep::attempt_timeout_s(opts, 100), 80.0);
+
+  opts.cell_timeout_s = 0;  // no timeout configured -> none at any attempt
+  EXPECT_DOUBLE_EQ(sweep::attempt_timeout_s(opts, 1), 0.0);
+  EXPECT_DOUBLE_EQ(sweep::attempt_timeout_s(opts, 4), 0.0);
+}
+
+TEST_F(SupervisorTest, EscalatedRetryTimeoutRescuesASlowButHonestCell) {
+  // First attempt gets a timeout the cell cannot meet; the retry's doubled
+  // budget is enough. A fixed (non-escalating) timeout would fail both.
+  sweep::Cell cell = fast_cell();
+  std::vector<sweep::CellResult> results = sweep::run_supervised(
+      {cell}, 1, isolation(/*timeout_s=*/0.005, /*retries=*/10), nullptr);
+  if (results[0].ok) {
+    // Escalation found a workable budget within the retry allowance.
+    EXPECT_GT(results[0].failure.attempts, 1);
+    EXPECT_TRUE(results[0].summary.verified);
+  } else {
+    // Even 8x5ms was too tight for this host; the diagnosis must still be a
+    // timeout quarantine with every attempt spent.
+    EXPECT_TRUE(results[0].failure.timed_out);
+    EXPECT_EQ(results[0].failure.attempts, 11);
+  }
+}
+
+TEST_F(SupervisorTest, SigtermMidGridLeavesNoOrphansNoTempFilesAndResumes) {
+  // Signal-driven shutdown, end to end: a SIGTERM (delivered here as the
+  // stop flag the handler would set) lands while the grid's hang cell holds
+  // the single worker slot. The supervisor must kill and reap every child,
+  // leave no half-written cache temp file, and a clean re-run must serve
+  // the completed prefix from the cache.
+  const fs::path cache_dir = dir_ / "cache";
+  sweep::ResultCache cache(cache_dir.string());
+  std::vector<sweep::Cell> cells = {
+      fast_cell("sor", SystemKind::kNetCache),
+      faulted_cell("hang:1"),
+      fast_cell("sor", SystemKind::kLambdaNet),
+  };
+
+  std::vector<sweep::CellResult> results;
+  std::thread grid([&] {
+    results = sweep::run_supervised(cells, 1, isolation(/*timeout_s=*/60.0),
+                                    &cache);
+  });
+  // Wait for cell 0 to complete (its store is the observable proof), then
+  // "SIGTERM" while the hang cell burns its wall clock.
+  for (int i = 0; i < 2000 && cache.stats().stores == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_GE(cache.stats().stores, 1u) << "first cell never completed";
+  sweep::request_stop(SIGTERM);
+  grid.join();
+
+  // The completed cell kept its result; everything else is interrupted.
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_TRUE(results[0].ok) << results[0].error;
+  EXPECT_FALSE(results[1].ok);
+  EXPECT_NE(results[1].error.find("interrupted"), std::string::npos)
+      << results[1].error;
+  EXPECT_FALSE(results[2].ok);
+
+  // No orphans: every forked child was killed and reaped, so this process
+  // has no children left at all.
+  errno = 0;
+  EXPECT_EQ(::waitpid(-1, nullptr, WNOHANG), -1);
+  EXPECT_EQ(errno, ECHILD);
+
+  // No stray temp files: the kill interrupted a run, not a cache write.
+  for (const auto& entry : fs::directory_iterator(cache_dir)) {
+    EXPECT_EQ(entry.path().extension(), ".ncr") << entry.path();
+    EXPECT_EQ(entry.path().filename().string().find(".tmp."),
+              std::string::npos)
+        << entry.path();
+  }
+
+  // Resume: the completed cell is a hit (no child forked for it); the hang
+  // cell now runs against a short escalating timeout and is quarantined;
+  // the never-started cell executes.
+  sweep::clear_stop();
+  std::vector<sweep::CellResult> resumed = sweep::run_supervised(
+      cells, 1, isolation(/*timeout_s=*/1.0), &cache);
+  EXPECT_TRUE(resumed[0].ok) << resumed[0].error;
+  EXPECT_TRUE(resumed[0].from_cache);
+  EXPECT_FALSE(resumed[1].ok);
+  EXPECT_TRUE(resumed[1].failure.timed_out);
+  EXPECT_TRUE(resumed[2].ok) << resumed[2].error;
+  EXPECT_FALSE(resumed[2].from_cache);
+  EXPECT_EQ(core::serialize_summary(resumed[0].summary),
+            core::serialize_summary(results[0].summary));
 }
 
 TEST_F(SupervisorTest, InstallAndRemoveStopHandlersRoundTrip) {
