@@ -48,6 +48,9 @@ LineState Cache::state(Addr addr) const {
 }
 
 void Cache::set_state(Addr addr, LineState s) {
+  // State changes of a present line never change residency; demoting a line
+  // to kInvalid must go through invalidate() so the residency hook fires.
+  NC_ASSERT(s != LineState::kInvalid, "set_state(kInvalid): use invalidate()");
   if (Line* line = find(addr)) line->state = s;
 }
 
@@ -73,10 +76,12 @@ std::optional<Eviction> Cache::insert(Addr addr, LineState state,
   if (victim->state != LineState::kInvalid) {
     evicted = Eviction{victim->tag, victim->state};
     ++evictions_;
+    notify_residency(victim->tag, false);
   }
   victim->tag = block_base(addr, config_.block_bytes);
   victim->state = state;
   victim->last_use = now;
+  notify_residency(victim->tag, true);
   return evicted;
 }
 
@@ -84,13 +89,17 @@ LineState Cache::invalidate(Addr addr) {
   if (Line* line = find(addr)) {
     LineState prev = line->state;
     line->state = LineState::kInvalid;
+    notify_residency(line->tag, false);
     return prev;
   }
   return LineState::kInvalid;
 }
 
 void Cache::clear() {
-  for (Line& line : lines_) line.state = LineState::kInvalid;
+  for (Line& line : lines_) {
+    if (line.state != LineState::kInvalid) notify_residency(line.tag, false);
+    line.state = LineState::kInvalid;
+  }
 }
 
 }  // namespace netcache::cache

@@ -30,9 +30,23 @@ struct Eviction {
 /// A set-associative tag store with LRU replacement within each set.
 class Cache {
  public:
+  /// Observer for residency changes (sharer tracking, DESIGN.md section 16):
+  /// fired with resident=true when a new line is installed, and with
+  /// resident=false when a line leaves the cache (eviction inside insert(),
+  /// invalidate() of a present line, clear()). A refresh-in-place insert
+  /// does not change residency and fires nothing.
+  using ResidencyHook = void (*)(void* ctx, Addr block_base, bool resident);
+
   explicit Cache(const CacheConfig& config);
 
   int block_bytes() const { return config_.block_bytes; }
+
+  /// Installs the residency observer (null disables). Register before the
+  /// first insert: the hook only sees changes, not pre-existing contents.
+  void set_residency_hook(ResidencyHook hook, void* ctx) {
+    residency_hook_ = hook;
+    residency_ctx_ = ctx;
+  }
 
   /// True (and LRU-touched) if the block containing `addr` is present.
   bool probe(Addr addr, Cycles now);
@@ -70,10 +84,18 @@ class Cache {
   Line* find(Addr addr);
   const Line* find(Addr addr) const;
 
+  void notify_residency(Addr base, bool resident) {
+    if (residency_hook_ != nullptr) {
+      residency_hook_(residency_ctx_, base, resident);
+    }
+  }
+
   CacheConfig config_;
   int sets_;
   std::vector<Line> lines_;  // sets_ x associativity, row-major
   std::uint64_t evictions_ = 0;
+  ResidencyHook residency_hook_ = nullptr;
+  void* residency_ctx_ = nullptr;
 };
 
 }  // namespace netcache::cache

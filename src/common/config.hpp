@@ -132,6 +132,15 @@ struct MachineConfig {
   /// when this is left at 1). Clamped to the node count at run time.
   int intra_jobs = 1;
 
+  /// Sharer-tracking directory (src/core/sharer_map.hpp, DESIGN.md section
+  /// 16): mirrors L2 residency so snoop delivery costs O(sharers) instead
+  /// of probing every node. Results are bit-identical either way (enforced
+  /// by tests), so like intra_jobs this is an execution knob, not a machine
+  /// parameter — the result cache deliberately excludes it from its key.
+  /// NETCACHE_SHARER_TRACKING=0 in the environment is the operational kill
+  /// switch (read at Machine construction when this is left at true).
+  bool sharer_tracking = true;
+
   /// Runtime coherence oracle (src/verify/): shadow-memory model checking
   /// every cached hit against the per-block commit history plus the protocol
   /// invariants at transition points. Also enabled by NETCACHE_VERIFY=1 in

@@ -70,6 +70,21 @@ struct OracleStats {
   std::uint64_t blocks_tracked = 0;    // distinct shared blocks shadowed
 };
 
+/// Host-cost counters for snoop delivery (sharer tracking, DESIGN.md
+/// section 16). Per delivery, probes + probes_avoided == nodes - 1 on
+/// either path: the full scan probes every other node's L2, the sharer-map
+/// fast path probes only the recorded sharers and books the rest as
+/// avoided. These describe host work, not simulated behaviour — like
+/// PdesStats they are excluded from summary serialization, because they
+/// differ between the tracked and untracked paths (and peak_blocks varies
+/// with the --intra-jobs shard count) while results stay byte-identical.
+struct SnoopStats {
+  std::uint64_t deliveries = 0;      // update/invalidate broadcast commits
+  std::uint64_t probes = 0;          // per-node L2 snoops actually performed
+  std::uint64_t probes_avoided = 0;  // snoops skipped via the sharer map
+  std::uint64_t peak_blocks = 0;     // SharerMap::peak_blocks() at end of run
+};
+
 /// Counters kept by the fault-injection plan (src/faults/) over one run.
 struct FaultStats {
   std::uint64_t injected = 0;     // fault instances that took effect

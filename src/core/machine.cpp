@@ -7,6 +7,7 @@
 #include "src/apps/workload.hpp"
 #include "src/common/nc_assert.hpp"
 #include "src/common/sim_error.hpp"
+#include "src/core/sharer_map.hpp"
 #include "src/faults/faults.hpp"
 #include "src/verify/oracle.hpp"
 #include "src/net/dmon/dmon_update_net.hpp"
@@ -64,6 +65,15 @@ Machine::Machine(const MachineConfig& config)
       }
     }
   }
+  if (config_.sharer_tracking) {
+    // Operational kill switch for the sharer-tracking directory: "0" falls
+    // back to the full O(nodes) snoop scan. Results are bit-identical
+    // either way (DESIGN.md section 16); only host cost differs.
+    const char* env = std::getenv("NETCACHE_SHARER_TRACKING");
+    if (env != nullptr && env[0] == '0' && env[1] == '\0') {
+      config_.sharer_tracking = false;
+    }
+  }
   config_.validate();
   nodes_.reserve(static_cast<std::size_t>(config_.nodes));
   for (NodeId n = 0; n < config_.nodes; ++n) {
@@ -84,6 +94,14 @@ Machine::Machine(const MachineConfig& config)
 }
 
 Machine::~Machine() = default;
+
+void Machine::on_l2_residency(void* ctx, Addr block_base, bool resident) {
+  const SharerHook* hook = static_cast<const SharerHook*>(ctx);
+  // Private blocks never receive snoops; keeping them out of the map keeps
+  // its working set at the shared footprint.
+  if (hook->as->is_private(block_base)) return;
+  hook->map->set_resident(block_base, hook->node, resident);
+}
 
 Lock& Machine::make_lock() {
   locks_.push_back(std::make_unique<Lock>(*this));
@@ -155,6 +173,25 @@ RunSummary Machine::run(apps::Workload& workload,
     }
     engine_.enable_partitions(plan);
   }
+  if (config_.sharer_tracking) {
+    // The shard count must match the partition layout (one shard per
+    // intra-jobs arc, DESIGN.md section 16), so the map is built here, once
+    // the effective thread count is known — before any L2 can change. The
+    // hash hint sizes each shard for its widest arc's worth of L2 lines.
+    const int shards = std::max(intra, 1);
+    const std::size_t lines_per_node = static_cast<std::size_t>(
+        config_.l2.size_bytes / config_.l2.block_bytes);
+    const std::size_t widest_arc = static_cast<std::size_t>(
+        (config_.nodes + shards - 1) / shards);
+    sharer_map_ = std::make_unique<SharerMap>(config_.nodes, shards,
+                                              lines_per_node * widest_arc);
+    sharer_hooks_.reserve(static_cast<std::size_t>(config_.nodes));
+    for (NodeId n = 0; n < config_.nodes; ++n) {
+      sharer_hooks_.push_back(SharerHook{sharer_map_.get(), &as_, n});
+      node(n).l2().set_residency_hook(&Machine::on_l2_residency,
+                                      &sharer_hooks_.back());
+    }
+  }
   workload.setup(*this);
   workers_remaining_ = config_.nodes;
   for (NodeId n = 0; n < config_.nodes; ++n) {
@@ -208,6 +245,8 @@ RunSummary Machine::run(apps::Workload& workload,
     s.pdes.stage_seconds = pc.stage_seconds;
     s.pdes.commit_seconds = pc.commit_seconds;
   }
+  if (sharer_map_ != nullptr) snoop_.peak_blocks = sharer_map_->peak_blocks();
+  s.snoop = snoop_;
   s.verify_enabled = config_.verify;
   if (oracle_ != nullptr) s.oracle = oracle_->stats();
   s.faults_enabled = faults_ != nullptr;

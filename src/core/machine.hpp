@@ -28,6 +28,8 @@ class FaultPlan;
 
 namespace netcache::core {
 
+class SharerMap;
+
 class Machine {
  public:
   explicit Machine(const MachineConfig& config);
@@ -53,6 +55,15 @@ class Machine {
   /// Fault-injection plan, or null when config.faults.spec is empty.
   faults::FaultPlan* faults() { return faults_.get(); }
 
+  /// Sharer-tracking directory (DESIGN.md section 16), or null when
+  /// tracking is off (config.sharer_tracking / NETCACHE_SHARER_TRACKING=0)
+  /// or run() has not wired it yet. Delivery paths fall back to the full
+  /// O(nodes) snoop scan whenever this is null.
+  SharerMap* sharer_map() { return sharer_map_.get(); }
+  /// Snoop-delivery host-cost counters, maintained by the delivery helpers
+  /// on both the tracked and full-scan paths.
+  SnoopStats& snoop_stats() { return snoop_; }
+
   /// Synchronization primitives live as long as the machine.
   Lock& make_lock();
   Barrier& make_barrier(int parties);
@@ -67,6 +78,15 @@ class Machine {
  private:
   sim::Task<void> worker(apps::Workload& workload, NodeId id);
 
+  /// Per-node context for the L2 residency hook: filters private blocks and
+  /// routes shared-residency changes into the node's sharer-map shard.
+  struct SharerHook {
+    SharerMap* map;
+    const AddressSpace* as;
+    NodeId node;
+  };
+  static void on_l2_residency(void* ctx, Addr block_base, bool resident);
+
   MachineConfig config_;
   LatencyParams lat_;
   sim::Engine engine_;
@@ -79,6 +99,10 @@ class Machine {
   std::unique_ptr<verify::CoherenceOracle> oracle_;
   std::unique_ptr<faults::FaultPlan> faults_;
   std::unique_ptr<Interconnect> interconnect_;
+  // Wired in run() once the effective intra-jobs shard count is known.
+  std::unique_ptr<SharerMap> sharer_map_;
+  std::vector<SharerHook> sharer_hooks_;
+  SnoopStats snoop_;
   std::vector<std::unique_ptr<Lock>> locks_;
   std::vector<std::unique_ptr<Barrier>> barriers_;
   int workers_remaining_ = 0;

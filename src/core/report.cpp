@@ -45,6 +45,9 @@ std::string detailed_report(const MachineConfig& config,
   if (summary.pdes.threads > 0) {
     append(out, "%s\n", format_pdes(summary).c_str());
   }
+  if (summary.snoop.deliveries > 0) {
+    append(out, "%s\n", format_snoop(summary).c_str());
+  }
 
   append(out, "\n%4s %10s %8s %8s %8s %8s %8s %9s %8s\n", "node", "reads",
          "l1%", "l2%", "miss", "shcHit%", "updates", "syncCyc", "finish");

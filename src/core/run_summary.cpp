@@ -339,6 +339,24 @@ std::string format_pdes(const RunSummary& s) {
   return buf;
 }
 
+std::string format_snoop(const RunSummary& s) {
+  if (s.snoop.deliveries == 0) return "";
+  const double total =
+      static_cast<double>(s.snoop.probes + s.snoop.probes_avoided);
+  char buf[224];
+  std::snprintf(buf, sizeof(buf),
+                "snoop: deliveries=%llu probes=%llu avoided=%llu "
+                "(%.1f%%) peak_blocks=%llu",
+                static_cast<unsigned long long>(s.snoop.deliveries),
+                static_cast<unsigned long long>(s.snoop.probes),
+                static_cast<unsigned long long>(s.snoop.probes_avoided),
+                total > 0 ? 100.0 * static_cast<double>(s.snoop.probes_avoided) /
+                                total
+                          : 0.0,
+                static_cast<unsigned long long>(s.snoop.peak_blocks));
+  return buf;
+}
+
 std::string format_throughput(const RunSummary& s) {
   char buf[160];
   std::snprintf(buf, sizeof(buf),

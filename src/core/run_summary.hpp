@@ -87,6 +87,14 @@ struct RunSummary {
   // serialization and determinism comparisons across intra_jobs values).
   PdesStats pdes;
 
+  // Snoop-delivery host-cost counters (sharer tracking, DESIGN.md section
+  // 16). Excluded from serialization and format_summary for the same
+  // reason as PdesStats: probes/probes_avoided differ between the tracked
+  // and full-scan paths, and peak_blocks varies with the --intra-jobs shard
+  // count, while neither knob is part of the result-cache key — a cache
+  // record must deserialize byte-identically regardless of either setting.
+  SnoopStats snoop;
+
   // Engine throughput (wall-clock observability; not part of the simulated
   // results, so determinism comparisons should ignore these).
   double wall_seconds = 0.0;
@@ -110,6 +118,12 @@ std::string format_throughput(const RunSummary& s);
 /// separate from format_summary for the same filtering reason as
 /// format_throughput: the counters vary with --intra-jobs.
 std::string format_pdes(const RunSummary& s);
+
+/// One-line snoop-delivery summary ("snoop: ..."), or "" when the run had
+/// no deliveries. Kept separate from format_summary because the counters
+/// differ between the sharer-tracked and full-scan paths (which must stay
+/// byte-identical in every comparable output).
+std::string format_snoop(const RunSummary& s);
 
 /// Serializes every field of `s` except the PdesStats block (including the
 /// read-latency histogram and the oracle/fault counters) to a

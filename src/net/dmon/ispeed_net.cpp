@@ -1,8 +1,10 @@
 #include "src/net/dmon/ispeed_net.hpp"
 
 #include "src/common/nc_assert.hpp"
+#include "src/core/sharer_map.hpp"
 #include "src/faults/faults.hpp"
 #include "src/verify/oracle.hpp"
+#include "src/verify/sharer_audit.hpp"
 
 namespace netcache::net {
 
@@ -11,7 +13,14 @@ ISpeedNet::ISpeedNet(core::Machine& machine)
       lat_(&machine.latencies()),
       oracle_(machine.oracle()),
       faults_(machine.faults()),
-      fabric_(machine, /*broadcast_channels=*/1) {}
+      fabric_(machine, /*broadcast_channels=*/1) {
+  // Every block any L2 holds can have a directory entry; pre-sizing to the
+  // machine-wide L2 line count kills mid-run rehash stalls on big machines.
+  const MachineConfig& cfg = machine.config();
+  directory_.reserve(static_cast<std::size_t>(cfg.nodes) *
+                     static_cast<std::size_t>(cfg.l2.size_bytes /
+                                              cfg.l2.block_bytes));
+}
 
 NodeId ISpeedNet::owner_of(Addr block_base) const {
   auto it = directory_.find(block_base);
@@ -98,23 +107,65 @@ sim::Task<void> ISpeedNet::drain_write(NodeId src,
   co_await fabric_.broadcast(src, 0, lat_->invalidate_message);
   if (oracle_ != nullptr) oracle_->on_invalidate_broadcast(block);
 
+  // Invalidation delivery: same sharer-map fast path / full-scan split as
+  // deliver_update_broadcast (see src/net/update_common.cpp for why the
+  // oracle pins the full scan and what the audit certifies).
+  core::SharerMap* sharers = machine_->sharer_map();
+  SnoopStats& snoop = machine_->snoop_stats();
+  const std::uint64_t others =
+      static_cast<std::uint64_t>(machine_->nodes() - 1);
+  ++snoop.deliveries;
+  if (sharers != nullptr && oracle_ != nullptr) {
+    verify::audit_sharer_map(*machine_, *sharers, block);
+  }
+
   // drop-invalidate: one sharer misses the broadcast. The fault needs a
   // victim actually caching the block; otherwise it stays armed.
   NodeId drop_victim = kNoNode;
-  if (faults_ != nullptr &&
-      faults_->armed(faults::FaultKind::kDropInvalidate, eng.now())) {
-    for (NodeId n = 0; n < machine_->nodes(); ++n) {
-      if (n != src && machine_->node(n).l2().contains(block)) {
-        drop_victim = n;
-        break;
+  if (sharers != nullptr && oracle_ == nullptr) {
+    // The snapshot is required here (not just faster): apply_invalidate
+    // drops L2 lines, mutating the shards mid-walk.
+    const std::vector<NodeId>& set = sharers->snapshot(block);
+    if (faults_ != nullptr &&
+        faults_->armed(faults::FaultKind::kDropInvalidate, eng.now())) {
+      for (NodeId n : set) {
+        if (n != src) {
+          drop_victim = n;
+          break;
+        }
+      }
+      if (drop_victim != kNoNode) {
+        faults_->consume(faults::FaultKind::kDropInvalidate);
       }
     }
-    if (drop_victim != kNoNode) {
-      faults_->consume(faults::FaultKind::kDropInvalidate);
+    std::uint64_t probed = 0;
+    for (NodeId n : set) {
+      if (n == src) continue;
+      ++probed;
+      if (n == drop_victim) continue;
+      machine_->node(n).apply_invalidate(block);
     }
-  }
-  for (NodeId n = 0; n < machine_->nodes(); ++n) {
-    if (n != src && n != drop_victim) machine_->node(n).apply_invalidate(block);
+    snoop.probes += probed;
+    snoop.probes_avoided += others - probed;
+  } else {
+    if (faults_ != nullptr &&
+        faults_->armed(faults::FaultKind::kDropInvalidate, eng.now())) {
+      for (NodeId n = 0; n < machine_->nodes(); ++n) {
+        if (n != src && machine_->node(n).l2().contains(block)) {
+          drop_victim = n;
+          break;
+        }
+      }
+      if (drop_victim != kNoNode) {
+        faults_->consume(faults::FaultKind::kDropInvalidate);
+      }
+    }
+    for (NodeId n = 0; n < machine_->nodes(); ++n) {
+      if (n != src && n != drop_victim) {
+        machine_->node(n).apply_invalidate(block);
+      }
+    }
+    snoop.probes += others;
   }
   if (drop_victim != kNoNode) {
     if (faults_->recovery()) {

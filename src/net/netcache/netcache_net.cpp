@@ -33,6 +33,9 @@ NetCacheNet::NetCacheNet(core::Machine& machine, bool with_ring)
     ring_ = std::make_unique<RingCache>(
         cfg.ring, lat_->ring_roundtrip, lat_->ring_read_overhead, cfg.nodes,
         cfg.ring.block_bytes, machine.rng());
+    // Window entries are only created for blocks resident on the ring, so
+    // the ring capacity is the natural working-set hint.
+    update_window_.reserve(static_cast<std::size_t>(ring_->capacity_blocks()));
   }
   window_cycles_ = 2 * lat_->ring_roundtrip;
 }
@@ -98,13 +101,14 @@ sim::Task<core::FetchResult> NetCacheNet::fetch_block(NodeId requester,
   co_await request_channel_.transmit(requester);
   co_await eng.delay(lat_->flight);
 
-  if (ring_ && ring_->contains(block)) {
+  std::optional<Cycles> arrive;
+  if (ring_) arrive = ring_->arrival_time(block, requester, eng.now());
+  if (arrive.has_value()) {
     // The block was inserted while our request was in flight; the home
-    // disregards the request and we take it from the ring.
+    // disregards the request and we take it from the ring (one index lookup
+    // instead of the old contains()+arrival_time() pair).
     if (oracle_ != nullptr) oracle_->on_ring_hit(requester, block);
     ++st.shared_cache_hits;
-    auto arrive = ring_->arrival_time(block, requester, eng.now());
-    NC_ASSERT(arrive.has_value(), "ring lost a block it contains");
     ring_->touch(block, eng.now());
     if (sim::PartitionSet* ps = eng.partitions_mut()) {
       ps->note_ring_touch(requester, home);

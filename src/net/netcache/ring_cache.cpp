@@ -22,6 +22,9 @@ RingCache::RingCache(const RingConfig& config, Cycles roundtrip_cycles,
   NC_ASSERT(config.channels > 0 && config.blocks_per_channel > 0,
             "empty ring cache");
   NC_ASSERT(roundtrip_cycles > 0, "ring needs positive roundtrip");
+  // The index never outgrows the slot count; pre-sizing it kills mid-run
+  // rehashes on the hot insert/lookup path.
+  index_.reserve(static_cast<std::size_t>(capacity_blocks()));
 }
 
 bool RingCache::contains(Addr block_addr) const {
@@ -56,8 +59,11 @@ std::optional<Cycles> RingCache::arrival_time(Addr block_addr, NodeId reader,
 
 std::optional<Addr> RingCache::insert(Addr block_addr, Cycles now) {
   Addr base = block_base(block_addr, block_bytes_);
-  if (contains(base)) {
-    refresh(base, now);
+  if (auto it = index_.find(base); it != index_.end()) {
+    // Already on the ring: refresh in place (one lookup instead of the
+    // contains()+refresh() pair, which each re-ran block_base and find).
+    Slot& s = slot_at(channel_of(base), it->second);
+    s.valid_from = std::max(s.valid_from, now);
     return std::nullopt;
   }
   ++insertions_;

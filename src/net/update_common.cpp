@@ -1,8 +1,10 @@
 #include "src/net/update_common.hpp"
 
 #include "src/core/machine.hpp"
+#include "src/core/sharer_map.hpp"
 #include "src/faults/faults.hpp"
 #include "src/verify/oracle.hpp"
+#include "src/verify/sharer_audit.hpp"
 
 namespace netcache::net {
 
@@ -16,25 +18,71 @@ void deliver_update_broadcast(core::Machine& machine, NodeId src,
   // happens at this same virtual instant.
   if (oracle != nullptr) oracle->on_store_commit(src, block_base);
 
-  NodeId drop_victim = kNoNode;
-  if (faults != nullptr &&
-      faults->armed(faults::FaultKind::kDropUpdate, eng.now())) {
-    // The fault needs a victim actually caching the block; otherwise it
-    // stays armed for the next update.
-    for (NodeId n = 0; n < machine.nodes(); ++n) {
-      if (n != src && machine.node(n).l2().contains(block_base)) {
-        drop_victim = n;
-        break;
-      }
-    }
-    if (drop_victim != kNoNode) {
-      faults->consume(faults::FaultKind::kDropUpdate);
-    }
+  core::SharerMap* sharers = machine.sharer_map();
+  SnoopStats& snoop = machine.snoop_stats();
+  const std::uint64_t others =
+      static_cast<std::uint64_t>(machine.nodes() - 1);
+  ++snoop.deliveries;
+  if (sharers != nullptr && oracle != nullptr) {
+    // Verified runs keep the full scan below: the oracle counts every
+    // delivery attempt (OracleStats serialize into the summary), so
+    // skipping non-sharers would change its counters. What a verified run
+    // adds is the exactness audit that proves each skip the unverified
+    // fast path would take is a no-op snoop.
+    verify::audit_sharer_map(machine, *sharers, block_base);
   }
 
-  for (NodeId n = 0; n < machine.nodes(); ++n) {
-    if (n == src || n == drop_victim) continue;
-    machine.node(n).apply_remote_update(block_base);
+  NodeId drop_victim = kNoNode;
+  if (sharers != nullptr && oracle == nullptr) {
+    // O(shards + sharers) fast path (DESIGN.md section 16): the map is an
+    // exact mirror of L2 residency, so a skipped node's snoop would have
+    // been a contains() miss and a no-op. The snapshot is in ascending
+    // node order — the same call sequence as the full scan.
+    const std::vector<NodeId>& set = sharers->snapshot(block_base);
+    if (faults != nullptr &&
+        faults->armed(faults::FaultKind::kDropUpdate, eng.now())) {
+      // The fault needs a victim actually caching the block; by exactness
+      // the snapshot's first entry besides `src` is the node the full scan
+      // would have picked. Otherwise it stays armed for the next update.
+      for (NodeId n : set) {
+        if (n != src) {
+          drop_victim = n;
+          break;
+        }
+      }
+      if (drop_victim != kNoNode) {
+        faults->consume(faults::FaultKind::kDropUpdate);
+      }
+    }
+    std::uint64_t probed = 0;
+    for (NodeId n : set) {
+      if (n == src) continue;
+      ++probed;
+      if (n == drop_victim) continue;
+      machine.node(n).apply_remote_update(block_base);
+    }
+    snoop.probes += probed;
+    snoop.probes_avoided += others - probed;
+  } else {
+    if (faults != nullptr &&
+        faults->armed(faults::FaultKind::kDropUpdate, eng.now())) {
+      // The fault needs a victim actually caching the block; otherwise it
+      // stays armed for the next update.
+      for (NodeId n = 0; n < machine.nodes(); ++n) {
+        if (n != src && machine.node(n).l2().contains(block_base)) {
+          drop_victim = n;
+          break;
+        }
+      }
+      if (drop_victim != kNoNode) {
+        faults->consume(faults::FaultKind::kDropUpdate);
+      }
+    }
+    for (NodeId n = 0; n < machine.nodes(); ++n) {
+      if (n == src || n == drop_victim) continue;
+      machine.node(n).apply_remote_update(block_base);
+    }
+    snoop.probes += others;
   }
 
   if (drop_victim != kNoNode) {

@@ -123,8 +123,11 @@ Cycles validated_lookahead(Cycles declared, const char* system);
 
 /// The ownership map: partition owning node `n` when `nodes` are split into
 /// `threads` contiguous balanced arcs. Free function (also used by
-/// PartitionSet) so tests can exercise the uneven-division edge cases
-/// without building an engine.
+/// PartitionSet, and by core::SharerMap to route a node's residency bit to
+/// its partition's shard — the shard routing must agree with engine
+/// ownership or parallel-commit fills would write a foreign shard, so any
+/// change here changes both) so tests can exercise the uneven-division edge
+/// cases without building an engine.
 inline int partition_of_node(NodeId n, int nodes, int threads) {
   return static_cast<int>((static_cast<std::int64_t>(n) * threads) / nodes);
 }

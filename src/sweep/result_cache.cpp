@@ -196,6 +196,9 @@ std::string ResultCache::key_description(const Cell& cell,
   // bit-identical to serial (DESIGN.md section 13, enforced by
   // test_partition), so a result computed at any --intra-jobs must hit for
   // every other setting. test_result_cache pins this exclusion.
+  // cfg.sharer_tracking is excluded for the same reason: the sharer map is
+  // host-side bookkeeping (DESIGN.md section 16, enforced by
+  // test_sharer_map), so tracked and untracked runs share one record.
   append_kv(&d, "cfg.faults.spec", cfg.faults.spec);
   append_u64(&d, "cfg.faults.seed", cfg.faults.seed);
   append_u64(&d, "cfg.faults.recovery", cfg.faults.recovery ? 1 : 0);

@@ -1,0 +1,20 @@
+#include "src/verify/sharer_audit.hpp"
+
+#include "src/common/nc_assert.hpp"
+#include "src/core/machine.hpp"
+#include "src/core/sharer_map.hpp"
+
+namespace netcache::verify {
+
+void audit_sharer_map(core::Machine& machine, const core::SharerMap& map,
+                      Addr block_base) {
+  for (NodeId n = 0; n < machine.nodes(); ++n) {
+    const bool tracked = map.contains(block_base, n);
+    const bool cached = machine.node(n).l2().contains(block_base);
+    NC_ASSERT(tracked == cached,
+              "sharer map out of sync with L2 residency: the map and the "
+              "cache disagree about a node at a delivery commit point");
+  }
+}
+
+}  // namespace netcache::verify

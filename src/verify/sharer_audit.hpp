@@ -1,0 +1,25 @@
+// Exactness audit for the sharer-tracking directory (DESIGN.md section 16),
+// run on NETCACHE_VERIFY=1 runs at every snoop-delivery commit point — the
+// exact instants where the unverified fast path would consult the map.
+#pragma once
+
+#include "src/common/types.hpp"
+
+namespace netcache::core {
+class Machine;
+class SharerMap;
+}  // namespace netcache::core
+
+namespace netcache::verify {
+
+/// Asserts the sharer map is an exact mirror of L2 residency for
+/// `block_base`: every node whose L2 holds the block is recorded, and no
+/// node outside the recorded set has it cached. With this invariant a
+/// skipped non-sharer is provably a no-op snoop (its apply_remote_update /
+/// apply_invalidate would find nothing), so a verified run certifies every
+/// skip the unverified O(sharers) path would take. Aborts with a failure
+/// report on the first mismatch.
+void audit_sharer_map(core::Machine& machine, const core::SharerMap& map,
+                      Addr block_base);
+
+}  // namespace netcache::verify
